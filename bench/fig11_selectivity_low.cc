@@ -1,0 +1,12 @@
+// Reproduces Figure 11 of the paper: Sampling rate, 1-d selection predicate accepting 0.25% of records (ACE vs ranked B+-tree vs permuted file).
+#include "sampling_rate.h"
+
+int main(int argc, char** argv) {
+  msv::bench::SamplingRateConfig config;
+  config.figure = "fig11";
+  config.caption = "Sampling rate, 1-d selection predicate accepting 0.25% of records (ACE vs ranked B+-tree vs permuted file)";
+  config.selectivity = 0.0025;
+  config.dims = 1;
+  config.max_x_pct = 1 == 1 ? 4.0 : 5.0;
+  return msv::bench::RunSamplingRateBench(argc, argv, config);
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 13 of the paper: Sampling rate, 1-d selection predicate accepting 25% of records.
+#include "sampling_rate.h"
+
+int main(int argc, char** argv) {
+  msv::bench::SamplingRateConfig config;
+  config.figure = "fig13";
+  config.caption = "Sampling rate, 1-d selection predicate accepting 25% of records";
+  config.selectivity = 0.25;
+  config.dims = 1;
+  config.max_x_pct = 1 == 1 ? 4.0 : 5.0;
+  return msv::bench::RunSamplingRateBench(argc, argv, config);
+}

@@ -1,0 +1,15 @@
+// Reproduces Figure 14 of the paper: the 2.5%-selectivity experiment run
+// until every method has returned all matching records, exposing the late
+// crossover point (Sec. 8.2).
+#include "sampling_rate.h"
+
+int main(int argc, char** argv) {
+  msv::bench::SamplingRateConfig config;
+  config.figure = "fig14";
+  config.caption =
+      "2.5% selectivity run to completion (crossover study)";
+  config.selectivity = 0.025;
+  config.dims = 1;
+  config.to_completion = true;
+  return msv::bench::RunSamplingRateBench(argc, argv, config);
+}

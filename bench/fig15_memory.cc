@@ -1,0 +1,81 @@
+// Reproduces Figure 15 of the paper: the number of records the ACE Tree
+// query algorithm must buffer (matching records awaiting combine
+// partners), as a fraction of the relation, for query selectivities of
+// 0.25% (Fig. 15a) and 2.5% (Fig. 15b). Reports min / average / max over
+// the query workload at fixed fractions of the scan time.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/ace_sampler.h"
+#include "core/ace_tree.h"
+#include "harness.h"
+#include "relation/workload.h"
+#include "util/logging.h"
+
+namespace msv::bench {
+namespace {
+
+void RunOneSelectivity(BenchEnv& env, double selectivity,
+                       const std::string& label, size_t num_queries,
+                       double max_x_pct) {
+  const double scan_ms = env.ScanMs();
+  relation::WorkloadGenerator workload({{0.0, env.options().day_max}},
+                                       env.options().seed + 9);
+  auto queries = workload.Queries(selectivity, 1, num_queries);
+
+  std::vector<StepSeries> gauges;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto device = BenchEnv::NewDevice();
+    auto timed = env.TimedEnv(device);
+    auto tree_or =
+        core::AceTree::Open(timed.get(), BenchEnv::kAce, env.layout());
+    MSV_CHECK(tree_or.ok());
+    auto tree = std::move(tree_or).value();
+    core::AceSampler sampler(tree.get(), queries[qi],
+                             env.options().seed + qi);
+    device->clock().Reset();  // metadata is warm; measure leaf I/O only
+    RunResult r = RunTimed(&sampler, *device, scan_ms * max_x_pct / 100.0,
+                           [&sampler] { return sampler.buffered_records(); });
+    gauges.push_back(std::move(r.gauge));
+  }
+
+  const double n = static_cast<double>(env.options().records);
+  std::vector<std::vector<double>> rows;
+  for (double x = 0.5; x <= max_x_pct + 1e-9; x += 0.5) {
+    Aggregate agg = AggregateAt(gauges, x / 100.0 * scan_ms);
+    rows.push_back({x, agg.min / n, agg.mean / n, agg.max / n});
+  }
+  std::vector<std::string> header{"pct_scan_time", "min_fraction",
+                                  "avg_fraction", "max_fraction"};
+  PrintTable("fig15" + label + ": ACE tree buffered records, selectivity " +
+                 std::to_string(selectivity * 100) + "%",
+             header, rows);
+  WriteCsv("fig15" + label + ".csv", header, rows);
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"records", "2000000"},
+               {"queries", "10"},
+               {"page", "65536"},
+               {"seed", "42"},
+               {"max_x", "11"}});
+  BenchEnv::Options options;
+  options.records = flags.GetInt("records");
+  options.page_size = flags.GetInt("page");
+  options.seed = flags.GetInt("seed");
+  options.dims = 1;
+  BenchEnv env(options);
+  env.BuildAce();
+  size_t queries = flags.GetInt("queries");
+  double max_x = flags.GetDouble("max_x");
+  RunOneSelectivity(env, 0.0025, "a", queries, max_x);
+  RunOneSelectivity(env, 0.025, "b", queries, max_x);
+  return 0;
+}
+
+}  // namespace
+}  // namespace msv::bench
+
+int main(int argc, char** argv) { return msv::bench::Main(argc, argv); }

@@ -1,0 +1,12 @@
+// Reproduces Figure 16 of the paper: Sampling rate, 2-d predicate accepting 0.25% of records (k-d ACE vs R-tree vs permuted file).
+#include "sampling_rate.h"
+
+int main(int argc, char** argv) {
+  msv::bench::SamplingRateConfig config;
+  config.figure = "fig16";
+  config.caption = "Sampling rate, 2-d predicate accepting 0.25% of records (k-d ACE vs R-tree vs permuted file)";
+  config.selectivity = 0.0025;
+  config.dims = 2;
+  config.max_x_pct = 2 == 1 ? 4.0 : 5.0;
+  return msv::bench::RunSamplingRateBench(argc, argv, config);
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 18 of the paper: Sampling rate, 2-d predicate accepting 25% of records.
+#include "sampling_rate.h"
+
+int main(int argc, char** argv) {
+  msv::bench::SamplingRateConfig config;
+  config.figure = "fig18";
+  config.caption = "Sampling rate, 2-d predicate accepting 25% of records";
+  config.selectivity = 0.25;
+  config.dims = 2;
+  config.max_x_pct = 2 == 1 ? 4.0 : 5.0;
+  return msv::bench::RunSamplingRateBench(argc, argv, config);
+}

@@ -1,0 +1,97 @@
+// Validates Lemma 1 of the paper: after m leaf nodes have been retrieved
+// for a query covering fraction alpha of the records (m <= 2*alpha*n + 2),
+// the expected number of samples obtained satisfies
+//     E[N] >= (mu / 2) * m * log2(m)
+// where mu is the mean section size. We measure the actual cumulative
+// sample count after each stab, averaged over queries, and print it next
+// to the bound.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/ace_sampler.h"
+#include "core/ace_tree.h"
+#include "harness.h"
+#include "relation/workload.h"
+#include "util/logging.h"
+
+namespace msv::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"records", "200000"},
+               {"height", "8"},
+               {"queries", "20"},
+               {"selectivity", "0.5"},
+               {"seed", "42"}});
+  BenchEnv::Options options;
+  options.records = flags.GetInt("records");
+  options.seed = flags.GetInt("seed");
+  BenchEnv env(options);
+  const uint32_t height = static_cast<uint32_t>(flags.GetInt("height"));
+  env.BuildAce(height);
+
+  auto tree_or =
+      core::AceTree::Open(env.raw_env(), BenchEnv::kAce, env.layout());
+  MSV_CHECK(tree_or.ok());
+  auto tree = std::move(tree_or).value();
+
+  const uint64_t leaves = tree->meta().num_leaves;
+  const double mu =
+      static_cast<double>(options.records) /
+      (static_cast<double>(height) * static_cast<double>(leaves));
+  const double selectivity = flags.GetDouble("selectivity");
+  const size_t num_queries = flags.GetInt("queries");
+  const uint64_t max_m = std::min<uint64_t>(
+      leaves, static_cast<uint64_t>(2 * selectivity *
+                                    static_cast<double>(leaves)) + 2);
+
+  relation::WorkloadGenerator workload({{0.0, options.day_max}},
+                                       options.seed + 5);
+  std::vector<double> avg_samples(max_m + 1, 0.0);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    auto q = workload.Query(selectivity, 1);
+    core::AceSampler sampler(tree.get(), q, options.seed + qi);
+    for (uint64_t m = 1; m <= max_m && !sampler.done(); ++m) {
+      auto batch = sampler.NextBatch();
+      MSV_CHECK(batch.ok());
+      avg_samples[m] += static_cast<double>(sampler.samples_returned());
+    }
+  }
+  for (auto& v : avg_samples) v /= static_cast<double>(num_queries);
+
+  std::vector<std::vector<double>> rows;
+  for (uint64_t m = 1; m <= max_m; ++m) {
+    double bound =
+        (mu / 2.0) * static_cast<double>(m) * std::log2(static_cast<double>(m));
+    rows.push_back({static_cast<double>(m), avg_samples[m], bound,
+                    bound > 0 ? avg_samples[m] / bound : 0.0});
+  }
+  std::vector<std::string> header{"leaves_read_m", "measured_E[N]",
+                                  "lemma1_lower_bound", "ratio"};
+  PrintTable("lemma1: measured samples vs (mu/2) m log2 m lower bound "
+             "(ratio must stay >= 1)",
+             header, rows);
+  WriteCsv("lemma1.csv", header, rows);
+
+  // Machine-checkable verdict. The paper proves the bound "if m is a
+  // power of 2" (end of the Lemma 1 proof); between powers of two the
+  // smooth m*log2(m) interpolation can transiently exceed the combine
+  // engine's round-quantized output, so we check at powers of two, with a
+  // small slack for sampling noise in the per-query average.
+  bool ok = true;
+  for (uint64_t m = 2; m <= max_m; m *= 2) {
+    double bound = (mu / 2.0) * static_cast<double>(m) *
+                   std::log2(static_cast<double>(m));
+    if (avg_samples[m] < bound * 0.95) ok = false;
+  }
+  std::printf("\nlemma1 bound %s (at power-of-two m, as proven)\n",
+              ok ? "HOLDS" : "VIOLATED");
+  return 0;  // informational: the table is the artifact
+}
+
+}  // namespace
+}  // namespace msv::bench
+
+int main(int argc, char** argv) { return msv::bench::Main(argc, argv); }

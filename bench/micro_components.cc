@@ -1,0 +1,189 @@
+// google-benchmark microbenchmarks of the library's building blocks:
+// RNG, incremental shuffle, external sort, B+-tree rank descent, ACE leaf
+// read + combine, buffer pool.
+
+#include <benchmark/benchmark.h>
+
+#include "btree/ranked_btree.h"
+#include "core/ace_sampler.h"
+#include "core/ace_builder.h"
+#include "core/ace_tree.h"
+#include "extsort/external_sorter.h"
+#include "io/buffer_pool.h"
+#include "io/env.h"
+#include "relation/sale_generator.h"
+#include "storage/heap_file.h"
+#include "util/coding.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace msv {
+namespace {
+
+void BM_Pcg64Next(benchmark::State& state) {
+  Pcg64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_Pcg64Next);
+
+void BM_Pcg64Below(benchmark::State& state) {
+  Pcg64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Below(12345));
+  }
+}
+BENCHMARK(BM_Pcg64Below);
+
+void BM_LazyShuffle(benchmark::State& state) {
+  Pcg64 rng(1);
+  const uint64_t n = state.range(0);
+  for (auto _ : state) {
+    LazyShuffle shuffle(n);
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < n / 10; ++i) sum += shuffle.Next(&rng);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 10));
+}
+BENCHMARK(BM_LazyShuffle)->Arg(1000)->Arg(100000);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  auto env = io::NewMemEnv();
+  {
+    auto writer =
+        storage::HeapFileWriter::Create(env.get(), "in", 16).value();
+    Pcg64 rng(3);
+    char rec[16];
+    for (uint64_t i = 0; i < n; ++i) {
+      EncodeFixed64(rec, rng.Next());
+      EncodeFixed64(rec + 8, i);
+      MSV_CHECK(writer->Append(rec).ok());
+    }
+    MSV_CHECK(writer->Finish().ok());
+  }
+  extsort::SortOptions options;
+  options.memory_budget_bytes = 1 << 20;
+  for (auto _ : state) {
+    MSV_CHECK(extsort::ExternalSort(
+                  env.get(), "in", "out",
+                  [](const char* a, const char* b) {
+                    return DecodeFixed64(a) < DecodeFixed64(b);
+                  },
+                  options)
+                  .ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExternalSort)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+struct BTreeFixtureState {
+  std::unique_ptr<io::Env> env = io::NewMemEnv();
+  std::unique_ptr<io::BufferPool> pool;
+  std::unique_ptr<btree::RankedBTree> tree;
+
+  BTreeFixtureState() {
+    relation::SaleGenOptions gen;
+    gen.num_records = 200000;
+    MSV_CHECK(relation::GenerateSaleRelation(env.get(), "sale", gen).ok());
+    btree::BTreeOptions options;
+    options.page_size = 8192;
+    MSV_CHECK(btree::BuildRankedBTree(env.get(), "sale", "bt",
+                                      storage::SaleRecord::Layout1D(),
+                                      options)
+                  .ok());
+    pool = std::make_unique<io::BufferPool>(8192, 1024);
+    tree = btree::RankedBTree::Open(env.get(), "bt",
+                                    storage::SaleRecord::Layout1D(),
+                                    pool.get(), 1)
+               .value();
+  }
+};
+
+void BM_BTreeReadByRank(benchmark::State& state) {
+  static BTreeFixtureState fixture;
+  Pcg64 rng(7);
+  std::vector<char> rec(storage::SaleRecord::kSize);
+  for (auto _ : state) {
+    uint64_t rank = rng.Below(fixture.tree->meta().num_records);
+    MSV_CHECK(fixture.tree->ReadByRank(rank, rec.data()).ok());
+    benchmark::DoNotOptimize(rec.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeReadByRank);
+
+struct AceFixtureState {
+  std::unique_ptr<io::Env> env = io::NewMemEnv();
+  std::unique_ptr<core::AceTree> tree;
+
+  AceFixtureState() {
+    relation::SaleGenOptions gen;
+    gen.num_records = 200000;
+    MSV_CHECK(relation::GenerateSaleRelation(env.get(), "sale", gen).ok());
+    core::AceBuildOptions options;
+    options.height = 8;
+    MSV_CHECK(core::BuildAceTree(env.get(), "sale", "ace",
+                                 storage::SaleRecord::Layout1D(), options)
+                  .ok());
+    tree = core::AceTree::Open(env.get(), "ace",
+                               storage::SaleRecord::Layout1D())
+               .value();
+  }
+};
+
+void BM_AceReadLeaf(benchmark::State& state) {
+  static AceFixtureState fixture;
+  Pcg64 rng(9);
+  for (auto _ : state) {
+    uint64_t leaf = rng.Below(fixture.tree->meta().num_leaves);
+    auto data = fixture.tree->ReadLeaf(leaf);
+    MSV_CHECK(data.ok());
+    benchmark::DoNotOptimize(data.value().TotalRecords());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AceReadLeaf);
+
+void BM_AceFullQueryDrain(benchmark::State& state) {
+  static AceFixtureState fixture;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto q = sampling::RangeQuery::OneDim(20000, 45000);
+    core::AceSampler sampler(fixture.tree.get(), q, seed++);
+    uint64_t total = 0;
+    while (!sampler.done()) {
+      auto batch = sampler.NextBatch();
+      MSV_CHECK(batch.ok());
+      total += batch.value().count();
+    }
+    benchmark::DoNotOptimize(total);
+    state.SetItemsProcessed(state.items_processed() + total);
+  }
+}
+BENCHMARK(BM_AceFullQueryDrain)->Unit(benchmark::kMillisecond);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  auto env = io::NewMemEnv();
+  auto file = env->OpenFile("f", true).value();
+  std::string page(4096, 'x');
+  for (int i = 0; i < 64; ++i) {
+    MSV_CHECK(file->Append(page.data(), page.size()).ok());
+  }
+  io::BufferPool pool(4096, 64);
+  Pcg64 rng(11);
+  for (auto _ : state) {
+    auto ref = pool.Get(file.get(), 1, rng.Below(64));
+    MSV_CHECK(ref.ok());
+    benchmark::DoNotOptimize(ref.value().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+}  // namespace
+}  // namespace msv
+
+BENCHMARK_MAIN();

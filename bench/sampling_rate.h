@@ -1,0 +1,35 @@
+// Driver shared by the sampling-rate figures (Figs. 11-14 and 16-18).
+//
+// Runs `num_queries` random range queries of the configured selectivity
+// against each competitor, each on a cold simulated disk and a buffer pool
+// sized at 5% of the relation, and reports the averaged percentage of the
+// relation retrieved as samples at fixed fractions of the full-scan time.
+
+#ifndef MSV_BENCH_SAMPLING_RATE_H_
+#define MSV_BENCH_SAMPLING_RATE_H_
+
+#include <string>
+#include <vector>
+
+namespace msv::bench {
+
+struct SamplingRateConfig {
+  std::string figure;    // e.g. "fig11"
+  std::string caption;   // printed above the table
+  double selectivity = 0.0025;
+  uint32_t dims = 1;     // 1 -> ACE vs B+-tree vs permuted; 2 -> k-d ACE vs
+                         // R-tree vs permuted
+  /// Checkpoints on the x axis, in % of full-scan time. Empty -> derived
+  /// from max_x_pct.
+  std::vector<double> checkpoints;
+  double max_x_pct = 4.0;
+  bool to_completion = false;  // Fig. 14: run until every method finishes
+};
+
+/// Entry point used by each figure binary's main().
+int RunSamplingRateBench(int argc, char** argv,
+                         const SamplingRateConfig& config);
+
+}  // namespace msv::bench
+
+#endif  // MSV_BENCH_SAMPLING_RATE_H_

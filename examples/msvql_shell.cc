@@ -1,0 +1,109 @@
+// MSVQL shell: the paper's SQL surface, live.
+//
+//   CREATE MATERIALIZED SAMPLE VIEW mysam AS SELECT * FROM sale
+//     INDEX ON day;
+//   SAMPLE FROM mysam WHERE day BETWEEN 20000 AND 30000 LIMIT 5;
+//   ESTIMATE AVG(amount) FROM mysam WHERE day BETWEEN 20000 AND 30000;
+//
+// Usage:
+//   ./msvql_shell                run the built-in demo script
+//   ./msvql_shell -              read statements from stdin (";"-separated)
+//   ./msvql_shell script.msvql   run a script file
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "io/env.h"
+#include "query/executor.h"
+#include "query/parser.h"
+
+namespace {
+
+constexpr const char* kDemoScript = R"SQL(
+  GENERATE TABLE sale ROWS 200000 SEED 7;
+  SHOW TABLES;
+
+  CREATE MATERIALIZED SAMPLE VIEW mysam AS SELECT * FROM sale INDEX ON day;
+  CREATE MATERIALIZED SAMPLE VIEW sam2d AS SELECT * FROM sale
+      INDEX ON day, amount;
+  SHOW VIEWS;
+
+  SAMPLE FROM mysam WHERE day BETWEEN 20000 AND 30000 LIMIT 5;
+  ESTIMATE AVG(amount) FROM mysam WHERE day BETWEEN 20000 AND 30000
+      SAMPLES 2000;
+  ESTIMATE SUM(amount) FROM mysam WHERE day BETWEEN 20000 AND 30000
+      SAMPLES 2000;
+  ESTIMATE COUNT(*) FROM mysam WHERE day BETWEEN 20000 AND 30000;
+
+  SAMPLE FROM sam2d WHERE day BETWEEN 10000 AND 60000
+      AND amount BETWEEN 9000 AND 10000 LIMIT 5;
+
+  INSERT INTO mysam ROWS 5000 SEED 11;
+  ESTIMATE COUNT(*) FROM mysam WHERE day BETWEEN 20000 AND 30000;
+  REBUILD mysam;
+  ESTIMATE AVG(amount) FROM mysam WHERE day BETWEEN 20000 AND 30000
+      SAMPLES 2000;
+
+  DROP VIEW sam2d;
+  SHOW VIEWS;
+)SQL";
+
+int RunScript(msv::query::Executor* executor, const std::string& script,
+              bool echo) {
+  // Execute statement by statement so each statement's output follows its
+  // text.
+  auto statements = msv::query::Parse(script);
+  if (!statements.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 statements.status().ToString().c_str());
+    return 1;
+  }
+  (void)echo;
+  auto result = executor->Run(script);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(result.value().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto env = msv::io::NewMemEnv();
+  auto executor_or = msv::query::Executor::Open(env.get());
+  if (!executor_or.ok()) {
+    std::fprintf(stderr, "cannot open executor: %s\n",
+                 executor_or.status().ToString().c_str());
+    return 1;
+  }
+  auto executor = std::move(executor_or).value();
+
+  if (argc == 1) {
+    std::printf("-- msvql demo (pass '-' to read from stdin) --\n");
+    std::fputs(kDemoScript, stdout);
+    std::printf("-- output --\n");
+    return RunScript(executor.get(), kDemoScript, false);
+  }
+
+  std::string source;
+  if (std::string(argv[1]) == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    source = buffer.str();
+  }
+  return RunScript(executor.get(), source, true);
+}

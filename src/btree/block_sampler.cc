@@ -1,0 +1,56 @@
+#include "btree/block_sampler.h"
+
+#include "util/logging.h"
+
+namespace msv::btree {
+
+BlockSampler::BlockSampler(const RankedBTree* tree,
+                           sampling::RangeQuery query, uint64_t seed)
+    : tree_(tree), query_(query), rng_(seed) {
+  MSV_CHECK_MSG(query_.dims == 1, "block sampling is one-dimensional");
+}
+
+Status BlockSampler::Initialize() {
+  MSV_ASSIGN_OR_RETURN(uint64_t r1, tree_->CountLess(query_.bounds[0].lo));
+  MSV_ASSIGN_OR_RETURN(uint64_t r2,
+                       tree_->CountLessOrEqual(query_.bounds[0].hi));
+  const uint32_t per_leaf = tree_->meta().records_per_leaf;
+  if (r2 <= r1 || per_leaf == 0) {
+    first_leaf_ = 1;
+    last_leaf_ = 0;
+    shuffle_.emplace(0);
+  } else {
+    first_leaf_ = r1 / per_leaf;
+    last_leaf_ = (r2 - 1) / per_leaf;
+    shuffle_.emplace(last_leaf_ - first_leaf_ + 1);
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<sampling::SampleBatch> BlockSampler::NextBatch() {
+  sampling::SampleBatch batch;
+  batch.record_size = tree_->meta().record_size;
+  if (!initialized_) {
+    MSV_RETURN_IF_ERROR(Initialize());
+    return batch;
+  }
+  if (shuffle_->done()) return batch;
+
+  uint64_t leaf = first_leaf_ + shuffle_->Next(&rng_);
+  std::string page_records;
+  MSV_ASSIGN_OR_RETURN(uint32_t count,
+                       tree_->ReadLeafRecords(leaf, &page_records));
+  ++pages_read_;
+  const auto& layout = tree_->layout();
+  for (uint32_t i = 0; i < count; ++i) {
+    const char* rec = page_records.data() + i * batch.record_size;
+    if (query_.Matches(layout, rec)) {
+      batch.Append(rec);
+      ++returned_;
+    }
+  }
+  return batch;
+}
+
+}  // namespace msv::btree

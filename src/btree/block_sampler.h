@@ -1,0 +1,61 @@
+// Block-based random sampling from a B+-tree (paper Sec. 2.3; Haas &
+// Koenig's bi-level Bernoulli, Chaudhuri et al.'s block-level sampling).
+//
+// Instead of one record per random I/O, whole leaf pages are drawn
+// uniformly without replacement from the query's leaf range and ALL of
+// their matching records are consumed. This is 2-3 orders of magnitude
+// cheaper per record — but the records of one page are not independent:
+// when values correlate with key order (which clusters them into pages),
+// an N-record block sample carries far less information than N
+// independent samples. The paper cites this "design effect" as the reason
+// block sampling cannot replace a true record-level sample; the
+// ablation_block_sampling bench quantifies it with this implementation.
+//
+// The stream's batches are per-page; each batch is a census of one
+// uniformly chosen page, so estimators must treat pages (not records) as
+// the sampling unit (cluster sampling).
+
+#ifndef MSV_BTREE_BLOCK_SAMPLER_H_
+#define MSV_BTREE_BLOCK_SAMPLER_H_
+
+#include <optional>
+#include <string>
+
+#include "btree/ranked_btree.h"
+#include "sampling/sample_stream.h"
+#include "util/random.h"
+
+namespace msv::btree {
+
+class BlockSampler : public sampling::SampleStream {
+ public:
+  BlockSampler(const RankedBTree* tree, sampling::RangeQuery query,
+               uint64_t seed);
+
+  /// One pull = one uniformly drawn leaf page; the batch holds every
+  /// matching record of that page.
+  Result<sampling::SampleBatch> NextBatch() override;
+  bool done() const override { return initialized_ && shuffle_->done(); }
+  uint64_t samples_returned() const override { return returned_; }
+  std::string name() const override { return "btree-block"; }
+
+  uint64_t pages_read() const { return pages_read_; }
+
+ private:
+  Status Initialize();
+
+  const RankedBTree* tree_;
+  sampling::RangeQuery query_;
+  Pcg64 rng_;
+
+  bool initialized_ = false;
+  uint64_t first_leaf_ = 0;  // leaf page range covering [r1, r2)
+  uint64_t last_leaf_ = 0;   // inclusive
+  std::optional<LazyShuffle> shuffle_;
+  uint64_t pages_read_ = 0;
+  uint64_t returned_ = 0;
+};
+
+}  // namespace msv::btree
+
+#endif  // MSV_BTREE_BLOCK_SAMPLER_H_

@@ -1,0 +1,49 @@
+#include "btree/btree_sampler.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace msv::btree {
+
+BTreeSampler::BTreeSampler(const RankedBTree* tree,
+                           sampling::RangeQuery query, uint64_t seed,
+                           size_t records_per_pull)
+    : tree_(tree),
+      query_(query),
+      rng_(seed),
+      records_per_pull_(records_per_pull) {
+  MSV_CHECK(records_per_pull_ > 0);
+  MSV_CHECK_MSG(query_.dims == 1, "B+-tree sampling is one-dimensional");
+}
+
+Status BTreeSampler::Initialize() {
+  // Steps 1-2 of Algorithm 1: find the ranks delimiting the query range.
+  MSV_ASSIGN_OR_RETURN(r1_, tree_->CountLess(query_.bounds[0].lo));
+  MSV_ASSIGN_OR_RETURN(r2_, tree_->CountLessOrEqual(query_.bounds[0].hi));
+  if (r2_ < r1_) r2_ = r1_;
+  shuffle_.emplace(r2_ - r1_);
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<sampling::SampleBatch> BTreeSampler::NextBatch() {
+  sampling::SampleBatch batch;
+  batch.record_size = tree_->meta().record_size;
+  if (!initialized_) {
+    MSV_RETURN_IF_ERROR(Initialize());
+    return batch;  // the two rank descents were this pull's I/O
+  }
+  if (shuffle_->done()) return batch;
+
+  std::vector<char> rec(tree_->meta().record_size);
+  for (size_t i = 0; i < records_per_pull_ && !shuffle_->done(); ++i) {
+    uint64_t rank = r1_ + shuffle_->Next(&rng_);
+    MSV_RETURN_IF_ERROR(tree_->ReadByRank(rank, rec.data()));
+    batch.Append(rec.data());
+    ++returned_;
+  }
+  return batch;
+}
+
+}  // namespace msv::btree

@@ -1,0 +1,58 @@
+// Random sampling from a ranked B+-Tree (paper Algorithm 1; Olken /
+// Antoshenkov).
+//
+// On construction the sampler resolves the query range to a rank interval
+// [r1, r2] with two root-to-leaf descents, then repeatedly draws a uniform
+// not-yet-used rank and fetches that record — one page access per draw
+// unless the page is already buffered. The duplicate-rank rejection of
+// Algorithm 1 is realized by an incremental Fisher-Yates permutation,
+// which has an identical output distribution without the late-stage
+// rejection slowdown.
+
+#ifndef MSV_BTREE_BTREE_SAMPLER_H_
+#define MSV_BTREE_BTREE_SAMPLER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "btree/ranked_btree.h"
+#include "sampling/sample_stream.h"
+#include "util/random.h"
+
+namespace msv::btree {
+
+class BTreeSampler : public sampling::SampleStream {
+ public:
+  /// Creates a sampler for `query` (dimension 0 only; B+-Trees are 1-d).
+  /// The rank interval is resolved lazily on the first NextBatch() so that
+  /// construction itself does no I/O.
+  BTreeSampler(const RankedBTree* tree, sampling::RangeQuery query,
+               uint64_t seed, size_t records_per_pull = 16);
+
+  Result<sampling::SampleBatch> NextBatch() override;
+  bool done() const override { return initialized_ && shuffle_->done(); }
+  uint64_t samples_returned() const override { return returned_; }
+  std::string name() const override { return "btree"; }
+
+  /// Matching-record count (valid after the first NextBatch call).
+  uint64_t population() const { return r2_ - r1_; }
+
+ private:
+  Status Initialize();
+
+  const RankedBTree* tree_;
+  sampling::RangeQuery query_;
+  Pcg64 rng_;
+  size_t records_per_pull_;
+
+  bool initialized_ = false;
+  uint64_t r1_ = 0;  // first matching rank
+  uint64_t r2_ = 0;  // one past last matching rank
+  std::optional<LazyShuffle> shuffle_;
+  uint64_t returned_ = 0;
+};
+
+}  // namespace msv::btree
+
+#endif  // MSV_BTREE_BTREE_SAMPLER_H_

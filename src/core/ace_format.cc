@@ -1,0 +1,94 @@
+#include "core/ace_format.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace msv::core {
+
+void EncodeSuperblock(char* dst, const AceMeta& meta) {
+  std::memset(dst, 0, kSuperblockSize);
+  EncodeFixed64(dst + 0, kAceMagic);
+  EncodeFixed32(dst + 8, kAceVersion);
+  EncodeFixed32(dst + 12, static_cast<uint32_t>(meta.page_size));
+  EncodeFixed32(dst + 16, static_cast<uint32_t>(meta.record_size));
+  EncodeFixed32(dst + 20, meta.key_dims);
+  EncodeFixed32(dst + 24, meta.height);
+  EncodeFixed64(dst + 32, meta.num_leaves);
+  EncodeFixed64(dst + 40, meta.num_records);
+  EncodeFixed64(dst + 48, meta.internal_offset);
+  EncodeFixed64(dst + 56, meta.directory_offset);
+  EncodeFixed64(dst + 64, meta.data_offset);
+  size_t off = 72;
+  for (size_t d = 0; d < storage::kMaxKeyDims; ++d) {
+    EncodeDouble(dst + off, meta.domain_min[d]);
+    off += 8;
+  }
+  for (size_t d = 0; d < storage::kMaxKeyDims; ++d) {
+    EncodeDouble(dst + off, meta.domain_max[d]);
+    off += 8;
+  }
+  // Masked CRC over everything before it, in the final 4 bytes.
+  EncodeFixed32(dst + kSuperblockSize - 4,
+                MaskCrc(Crc32c(dst, kSuperblockSize - 4)));
+}
+
+Result<AceMeta> DecodeSuperblock(const char* src) {
+  if (DecodeFixed64(src) != kAceMagic) {
+    return Status::Corruption("bad ACE tree magic");
+  }
+  uint32_t stored = UnmaskCrc(DecodeFixed32(src + kSuperblockSize - 4));
+  if (stored != Crc32c(src, kSuperblockSize - 4)) {
+    return Status::Corruption("ACE superblock checksum mismatch");
+  }
+  if (DecodeFixed32(src + 8) != kAceVersion) {
+    return Status::Corruption("unsupported ACE tree version");
+  }
+  AceMeta meta;
+  meta.page_size = DecodeFixed32(src + 12);
+  meta.record_size = DecodeFixed32(src + 16);
+  meta.key_dims = DecodeFixed32(src + 20);
+  meta.height = DecodeFixed32(src + 24);
+  meta.num_leaves = DecodeFixed64(src + 32);
+  meta.num_records = DecodeFixed64(src + 40);
+  meta.internal_offset = DecodeFixed64(src + 48);
+  meta.directory_offset = DecodeFixed64(src + 56);
+  meta.data_offset = DecodeFixed64(src + 64);
+  size_t off = 72;
+  for (size_t d = 0; d < storage::kMaxKeyDims; ++d) {
+    meta.domain_min[d] = DecodeDouble(src + off);
+    off += 8;
+  }
+  for (size_t d = 0; d < storage::kMaxKeyDims; ++d) {
+    meta.domain_max[d] = DecodeDouble(src + off);
+    off += 8;
+  }
+  if (meta.record_size == 0 || meta.height == 0 || meta.key_dims == 0 ||
+      meta.key_dims > storage::kMaxKeyDims) {
+    return Status::Corruption("implausible ACE superblock geometry");
+  }
+  if (meta.num_leaves != (1ull << (meta.height - 1))) {
+    return Status::Corruption("leaf count inconsistent with height");
+  }
+  return meta;
+}
+
+void EncodeInternalNode(char* dst, const InternalNode& node) {
+  EncodeDouble(dst + 0, node.split_key);
+  EncodeFixed32(dst + 8, node.split_dim);
+  EncodeFixed32(dst + 12, 0);
+  EncodeFixed64(dst + 16, node.cnt_left);
+  EncodeFixed64(dst + 24, node.cnt_right);
+}
+
+InternalNode DecodeInternalNode(const char* src) {
+  InternalNode node;
+  node.split_key = DecodeDouble(src + 0);
+  node.split_dim = DecodeFixed32(src + 8);
+  node.cnt_left = DecodeFixed64(src + 16);
+  node.cnt_right = DecodeFixed64(src + 24);
+  return node;
+}
+
+}  // namespace msv::core

@@ -1,0 +1,102 @@
+// On-disk format of the ACE Tree (Appendability, Combinability,
+// Exponentiality Tree), the index structure implementing a materialized
+// sample view (paper Secs. 3-5).
+//
+// One file, byte-addressed with page-aligned regions:
+//
+//   [superblock]        fixed-size header (magic, geometry, key domain)
+//   [internal region]   F-1 internal nodes in heap order (node 1 = root,
+//                       node n's children are 2n and 2n+1): split key,
+//                       split dimension, cnt_left, cnt_right
+//   [directory region]  F entries: byte offset + byte length of each leaf
+//   [leaf region]       leaf nodes in leaf-id order; each leaf is
+//                       [leaf header: section record-counts[h]]
+//                       [section 1 records][section 2 records]...[section h]
+//
+// Leaves are variable-sized and may span disk pages (the paper's chosen
+// scheme, Sec. 5.6); the directory makes every leaf a single contiguous
+// read. The internal region and directory are loaded into memory when the
+// tree is opened — together they are a tiny fraction of the data size.
+
+#ifndef MSV_CORE_ACE_FORMAT_H_
+#define MSV_CORE_ACE_FORMAT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "storage/record.h"
+#include "util/result.h"
+
+namespace msv::core {
+
+inline constexpr uint64_t kAceMagic = 0x3145455254454341ULL;  // "ACETREE1"
+inline constexpr uint32_t kAceVersion = 1;
+inline constexpr size_t kSuperblockSize = 256;
+inline constexpr size_t kInternalNodeSize = 32;  // key f64, dim u32, pad, cnt_l u64, cnt_r u64
+inline constexpr size_t kDirectoryEntrySize = 16;  // offset u64, length u64
+
+/// Geometry and key-domain metadata persisted in the superblock.
+struct AceMeta {
+  size_t page_size = 64 << 10;
+  size_t record_size = 0;
+  uint32_t key_dims = 1;
+  /// Tree height h = number of ranges/sections per leaf. Internal node
+  /// levels are 1..h-1; level h corresponds to the leaves themselves.
+  uint32_t height = 0;
+  /// Number of leaves, F = 2^(h-1).
+  uint64_t num_leaves = 0;
+  uint64_t num_records = 0;
+  /// Region offsets in bytes.
+  uint64_t internal_offset = 0;
+  uint64_t directory_offset = 0;
+  uint64_t data_offset = 0;
+  /// Smallest/largest key value per dimension (defines the root range).
+  std::array<double, storage::kMaxKeyDims> domain_min{};
+  std::array<double, storage::kMaxKeyDims> domain_max{};
+
+  uint64_t num_internal_nodes() const {
+    return num_leaves > 0 ? num_leaves - 1 : 0;
+  }
+};
+
+/// One internal node of the binary split tree. Node n (heap order,
+/// 1-indexed) splits its range on `split_dim` at `split_key`: records with
+/// key < split_key belong to child 2n, the rest to child 2n+1. cnt_left /
+/// cnt_right are exact record counts of the two subtrees (paper Sec. 3.2;
+/// used for online-aggregation population estimates).
+struct InternalNode {
+  double split_key = 0.0;
+  uint32_t split_dim = 0;
+  uint64_t cnt_left = 0;
+  uint64_t cnt_right = 0;
+};
+
+/// Directory entry locating one leaf in the data region.
+struct LeafLocation {
+  uint64_t offset = 0;  // absolute byte offset in the file
+  uint64_t length = 0;  // bytes, header included
+};
+
+/// An axis-aligned box with half-open intervals [lo, hi) per dimension.
+/// The root box spans [domain_min, just-above-domain_max).
+struct Box {
+  std::array<double, storage::kMaxKeyDims> lo{};
+  std::array<double, storage::kMaxKeyDims> hi{};
+  uint32_t dims = 1;
+};
+
+/// Serialization helpers (format details shared with tests).
+void EncodeSuperblock(char* dst, const AceMeta& meta);
+Result<AceMeta> DecodeSuperblock(const char* src);
+void EncodeInternalNode(char* dst, const InternalNode& node);
+InternalNode DecodeInternalNode(const char* src);
+
+/// Size in bytes of a leaf header for a tree of height h.
+inline size_t LeafHeaderSize(uint32_t height) {
+  return 8 + 4ul * height;  // leaf id u32, height u32, per-section counts
+}
+
+}  // namespace msv::core
+
+#endif  // MSV_CORE_ACE_FORMAT_H_

@@ -1,0 +1,104 @@
+#include "core/ace_sampler.h"
+
+#include "util/logging.h"
+
+namespace msv::core {
+
+AceSampler::AceSampler(const AceTree* tree, sampling::RangeQuery query,
+                       uint64_t seed)
+    : tree_(tree), query_(query), rng_(seed) {
+  MSV_CHECK_MSG(query_.Validate(tree_->layout()).ok(), "invalid query");
+  MSV_CHECK_MSG(query_.dims == tree_->meta().key_dims,
+                "query dims must match the tree's indexed dims");
+
+  const SplitTree& splits = tree_->splits();
+  const uint64_t num_leaves = splits.num_leaves();
+  auto covering = splits.CoveringSets(query_);
+  combiner_ = std::make_unique<CombineEngine>(
+      &tree_->layout(), query_, covering, tree_->meta().record_size,
+      tree_->meta().height);
+
+  overlaps_.assign(2 * num_leaves, 0);
+  done_.assign(2 * num_leaves, 0);
+  next_right_.assign(2 * num_leaves, 0);
+  for (const auto& level_nodes : covering) {
+    for (uint64_t id : level_nodes) overlaps_[id] = 1;
+  }
+  finished_ = overlaps_[1] == 0;  // query misses the whole domain
+}
+
+Status AceSampler::Stab(sampling::SampleBatch* out) {
+  const uint64_t num_leaves = tree_->splits().num_leaves();
+  uint64_t id = 1;
+  while (id < num_leaves) {
+    uint64_t left = 2 * id;
+    uint64_t right = left + 1;
+    // Every leaf is relevant (its coarse sections sample ranges that span
+    // the query), so only exhausted subtrees are skipped; subtrees whose
+    // box overlaps the query are merely *preferred*, which is what makes
+    // the early samples arrive fast.
+    bool l_ok = !done_[left];
+    bool r_ok = !done_[right];
+    if (l_ok && r_ok) {
+      bool l_ov = overlaps_[left] != 0;
+      bool r_ov = overlaps_[right] != 0;
+      if (l_ov != r_ov) {
+        // Exactly one side overlaps: take it, leaving the toggle bit
+        // untouched (the paper's "irrespective of the indicator bit").
+        id = l_ov ? left : right;
+      } else if (next_right_[id]) {
+        // Free choice: alternate (the paper's back-and-forth order, which
+        // maximizes the disparity of retrieved sections).
+        id = right;
+        next_right_[id / 2] = 0;
+      } else {
+        id = left;
+        next_right_[id / 2] = 1;
+      }
+    } else if (l_ok) {
+      id = left;
+    } else if (r_ok) {
+      id = right;
+    } else {
+      return Status::Internal("stab reached a node with no viable child");
+    }
+  }
+
+  // Leaf reached: retrieve and combine.
+  MSV_ASSIGN_OR_RETURN(LeafData leaf,
+                       tree_->ReadLeaf(tree_->splits().LeafIndexOf(id)));
+  ++leaves_read_;
+  leaf_read_order_.push_back(tree_->splits().LeafIndexOf(id));
+  combiner_->AddLeaf(id, leaf, out, &rng_);
+  done_[id] = 1;
+
+  // Propagate done-ness towards the root: a node is done once all leaves
+  // beneath it have been accessed (the paper's lookup-table `done` flag).
+  for (uint64_t n = id / 2; n >= 1; n /= 2) {
+    if (done_[2 * n] && done_[2 * n + 1]) {
+      done_[n] = 1;
+    } else {
+      break;
+    }
+  }
+
+  if (done_[1]) {
+    // Every leaf consumed. All combine rounds have balanced out (each
+    // covering node at level i received exactly 2^(h-i) contributions),
+    // so the flush is a no-op safety net completing the match set.
+    combiner_->Flush(out, &rng_);
+    finished_ = true;
+  }
+  return Status::OK();
+}
+
+Result<sampling::SampleBatch> AceSampler::NextBatch() {
+  sampling::SampleBatch batch;
+  batch.record_size = tree_->meta().record_size;
+  if (finished_) return batch;
+  MSV_RETURN_IF_ERROR(Stab(&batch));
+  returned_ += batch.count();
+  return batch;
+}
+
+}  // namespace msv::core

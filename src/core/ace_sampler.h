@@ -1,0 +1,74 @@
+// The ACE Tree online query algorithm (paper Sec. 6, Algorithms 2-4).
+//
+// Each NextBatch() performs one *stab*: a root-to-leaf traversal that, at
+// every internal node with a free choice, takes the child opposite to the
+// one taken last time (the per-node `next` toggle bit of the paper's
+// lookup table T), always preferring children that overlap the query and
+// skipping exhausted subtrees (the `done` flag). The retrieved leaf's
+// sections are handed to the CombineEngine, which emits every sample the
+// combinability/appendability properties allow. At all times the records
+// returned so far are a uniform random sample, without replacement, of
+// the records matching the query; when the stream completes it has
+// returned exactly the full match set.
+
+#ifndef MSV_CORE_ACE_SAMPLER_H_
+#define MSV_CORE_ACE_SAMPLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ace_tree.h"
+#include "core/combine_engine.h"
+#include "sampling/sample_stream.h"
+#include "util/random.h"
+
+namespace msv::core {
+
+class AceSampler : public sampling::SampleStream {
+ public:
+  /// `seed` drives only presentation-order shuffling of emitted rounds —
+  /// which records are returned when is fully determined by the tree
+  /// contents and the deterministic stab order.
+  AceSampler(const AceTree* tree, sampling::RangeQuery query, uint64_t seed);
+
+  Result<sampling::SampleBatch> NextBatch() override;
+  bool done() const override { return finished_; }
+  uint64_t samples_returned() const override { return returned_; }
+  std::string name() const override {
+    return tree_->meta().key_dims > 1 ? "kd-ace" : "ace";
+  }
+
+  /// Matching records buffered awaiting combination (Fig. 15 metric).
+  uint64_t buffered_records() const { return combiner_->buffered_records(); }
+  /// Leaf nodes retrieved so far.
+  uint64_t leaves_read() const { return leaves_read_; }
+  /// Leaf indices in retrieval order (diagnostics; the paper's Fig. 10
+  /// back-and-forth stab order is asserted against this in tests).
+  const std::vector<uint64_t>& leaf_read_order() const {
+    return leaf_read_order_;
+  }
+
+ private:
+  /// One stab; appends emitted samples to `out`.
+  Status Stab(sampling::SampleBatch* out);
+
+  const AceTree* tree_;
+  sampling::RangeQuery query_;
+  Pcg64 rng_;
+  std::unique_ptr<CombineEngine> combiner_;
+
+  /// Heap-indexed node state (ids 1..2F-1; index 0 unused).
+  std::vector<uint8_t> overlaps_;  // box intersects the query
+  std::vector<uint8_t> done_;     // subtree fully consumed
+  std::vector<uint8_t> next_right_;  // toggle bit: take right child next
+
+  uint64_t returned_ = 0;
+  uint64_t leaves_read_ = 0;
+  std::vector<uint64_t> leaf_read_order_;
+  bool finished_ = false;
+};
+
+}  // namespace msv::core
+
+#endif  // MSV_CORE_ACE_SAMPLER_H_

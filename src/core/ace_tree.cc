@@ -1,0 +1,204 @@
+#include "core/ace_tree.h"
+
+#include <cmath>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/logging.h"
+
+namespace msv::core {
+
+Result<std::unique_ptr<AceTree>> AceTree::Open(
+    io::Env* env, const std::string& name,
+    const storage::RecordLayout& layout) {
+  MSV_RETURN_IF_ERROR(layout.Validate());
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
+                       env->OpenFile(name, /*create=*/false));
+
+  char super[kSuperblockSize];
+  MSV_RETURN_IF_ERROR(file->ReadExact(0, sizeof(super), super));
+  MSV_ASSIGN_OR_RETURN(AceMeta meta, DecodeSuperblock(super));
+  if (meta.record_size != layout.record_size) {
+    return Status::InvalidArgument("layout record size mismatch");
+  }
+  if (meta.key_dims > layout.key_dims()) {
+    return Status::InvalidArgument("layout has fewer key dims than tree");
+  }
+
+  const uint64_t num_leaves = meta.num_leaves;
+
+  // Internal-node array.
+  std::vector<InternalNode> nodes(num_leaves - 1);
+  if (num_leaves > 1) {
+    std::string bytes((num_leaves - 1) * kInternalNodeSize, '\0');
+    MSV_RETURN_IF_ERROR(
+        file->ReadExact(meta.internal_offset, bytes.size(), bytes.data()));
+    for (uint64_t id = 1; id < num_leaves; ++id) {
+      nodes[id - 1] =
+          DecodeInternalNode(bytes.data() + (id - 1) * kInternalNodeSize);
+    }
+  }
+
+  // Leaf directory.
+  std::vector<LeafLocation> directory(num_leaves);
+  {
+    std::string bytes(num_leaves * kDirectoryEntrySize, '\0');
+    MSV_RETURN_IF_ERROR(
+        file->ReadExact(meta.directory_offset, bytes.size(), bytes.data()));
+    for (uint64_t i = 0; i < num_leaves; ++i) {
+      directory[i].offset = DecodeFixed64(bytes.data() + i * kDirectoryEntrySize);
+      directory[i].length =
+          DecodeFixed64(bytes.data() + i * kDirectoryEntrySize + 8);
+    }
+  }
+
+  Box root;
+  root.dims = meta.key_dims;
+  for (uint32_t d = 0; d < meta.key_dims; ++d) {
+    root.lo[d] = meta.domain_min[d];
+    root.hi[d] = meta.domain_max[d];
+  }
+  auto splits = std::make_unique<SplitTree>(meta.height, meta.key_dims,
+                                            std::move(nodes), root);
+
+  // Per-node record counts, rebuilt from cnt_l/cnt_r.
+  std::vector<uint64_t> node_counts(2 * num_leaves, 0);
+  node_counts[1] = meta.num_records;
+  for (uint64_t id = 1; id < num_leaves; ++id) {
+    const InternalNode& n = splits->node(id);
+    node_counts[2 * id] = n.cnt_left;
+    node_counts[2 * id + 1] = n.cnt_right;
+  }
+
+  MSV_ASSIGN_OR_RETURN(uint64_t file_bytes, file->Size());
+
+  return std::unique_ptr<AceTree>(new AceTree(
+      std::move(file), layout, meta, std::move(splits), std::move(directory),
+      std::move(node_counts), file_bytes));
+}
+
+Result<LeafData> AceTree::ReadLeaf(uint64_t leaf_index) const {
+  if (leaf_index >= meta_.num_leaves) {
+    return Status::OutOfRange("leaf index out of range");
+  }
+  const LeafLocation& loc = directory_[leaf_index];
+  std::string blob(loc.length, '\0');
+  MSV_RETURN_IF_ERROR(file_->ReadExact(loc.offset, loc.length, blob.data()));
+
+  if (blob.size() < 4) {
+    return Status::Corruption("leaf blob shorter than its checksum");
+  }
+  uint32_t stored = UnmaskCrc(DecodeFixed32(blob.data() + blob.size() - 4));
+  if (stored != Crc32c(blob.data(), blob.size() - 4)) {
+    return Status::Corruption("leaf " + std::to_string(leaf_index) +
+                              " checksum mismatch");
+  }
+  blob.resize(blob.size() - 4);
+
+  const size_t header = LeafHeaderSize(meta_.height);
+  if (blob.size() < header) {
+    return Status::Corruption("leaf blob shorter than header");
+  }
+  uint32_t stored_index = DecodeFixed32(blob.data());
+  uint32_t stored_height = DecodeFixed32(blob.data() + 4);
+  if (stored_index != leaf_index || stored_height != meta_.height) {
+    return Status::Corruption("leaf header mismatch for leaf " +
+                              std::to_string(leaf_index));
+  }
+
+  LeafData leaf;
+  leaf.leaf_index = leaf_index;
+  leaf.record_size = meta_.record_size;
+  leaf.sections.resize(meta_.height);
+  size_t off = header;
+  for (uint32_t s = 0; s < meta_.height; ++s) {
+    uint32_t count = DecodeFixed32(blob.data() + 8 + 4 * s);
+    size_t bytes = static_cast<size_t>(count) * meta_.record_size;
+    if (off + bytes > blob.size()) {
+      return Status::Corruption("leaf section overruns blob");
+    }
+    leaf.sections[s].assign(blob.data() + off, bytes);
+    off += bytes;
+  }
+  if (off != blob.size()) {
+    return Status::Corruption("trailing bytes in leaf blob");
+  }
+  return leaf;
+}
+
+uint64_t AceTree::NodeCount(uint64_t heap_id) const {
+  MSV_CHECK(heap_id >= 1 && heap_id < 2 * meta_.num_leaves);
+  return node_counts_[heap_id];
+}
+
+namespace {
+
+// Fraction of box `b` (half-open) covered by query `q` (closed), assuming
+// uniform density inside the box.
+double VolumeOverlapFraction(const Box& b, const sampling::RangeQuery& q) {
+  double frac = 1.0;
+  for (size_t d = 0; d < q.dims; ++d) {
+    double width = b.hi[d] - b.lo[d];
+    if (width <= 0) return 0.0;
+    double lo = std::max(b.lo[d], q.bounds[d].lo);
+    double hi = std::min(b.hi[d], q.bounds[d].hi);
+    if (hi <= lo) return 0.0;
+    frac *= (hi - lo) / width;
+  }
+  return frac;
+}
+
+}  // namespace
+
+Result<uint64_t> AceTree::EstimateMatchCount(
+    const sampling::RangeQuery& q) const {
+  MSV_RETURN_IF_ERROR(q.Validate(layout_));
+  if (q.dims != meta_.key_dims) {
+    return Status::InvalidArgument(
+        "query dimensionality differs from tree key_dims");
+  }
+  double estimate = 0.0;
+  struct Item {
+    uint64_t id;
+    Box box;
+  };
+  std::vector<Item> stack{{1, splits_->root_box()}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    if (!BoxOverlapsQuery(item.box, q)) continue;
+    uint64_t count = node_counts_[item.id];
+    if (count == 0) continue;
+    if (BoxCoversQuery(item.box, q) && !BoxOverlapsQuery(item.box, q)) {
+      continue;  // unreachable; kept for clarity
+    }
+    // Fully inside the query: exact contribution.
+    bool inside = true;
+    for (size_t d = 0; d < q.dims; ++d) {
+      if (!(q.bounds[d].lo <= item.box.lo[d] &&
+            item.box.hi[d] <= std::nextafter(
+                                  q.bounds[d].hi,
+                                  std::numeric_limits<double>::infinity()))) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) {
+      estimate += static_cast<double>(count);
+      continue;
+    }
+    if (item.id < meta_.num_leaves) {
+      stack.push_back({2 * item.id,
+                       splits_->ChildBox(item.box, item.id, /*left=*/true)});
+      stack.push_back({2 * item.id + 1,
+                       splits_->ChildBox(item.box, item.id, /*left=*/false)});
+    } else {
+      // Finest cell partially overlapping the query: pro-rate by volume.
+      estimate += static_cast<double>(count) *
+                  VolumeOverlapFraction(item.box, q);
+    }
+  }
+  return static_cast<uint64_t>(std::llround(estimate));
+}
+
+}  // namespace msv::core

@@ -1,0 +1,98 @@
+// Read-side handle of an ACE Tree file.
+//
+// Opening a tree loads the superblock, the internal-node array (split tree
+// plus exact subtree counts) and the leaf directory into memory — the same
+// working set the paper's query algorithm assumes (its lookup table T is
+// memory-resident). Leaf nodes are then single contiguous file reads.
+
+#ifndef MSV_CORE_ACE_TREE_H_
+#define MSV_CORE_ACE_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ace_format.h"
+#include "core/split_tree.h"
+#include "io/env.h"
+#include "sampling/range_query.h"
+#include "storage/record.h"
+#include "util/result.h"
+
+namespace msv::core {
+
+/// One leaf node read from disk: h sections, each a packed run of records.
+/// Section i (1-based) is a uniform random subset of the records in the
+/// box of the leaf's level-i ancestor.
+struct LeafData {
+  uint64_t leaf_index = 0;
+  size_t record_size = 0;
+  /// sections[i-1] holds section i's records, densely packed.
+  std::vector<std::string> sections;
+
+  size_t SectionCount(size_t level) const {
+    return sections[level - 1].size() / record_size;
+  }
+  const char* SectionRecord(size_t level, size_t idx) const {
+    return sections[level - 1].data() + idx * record_size;
+  }
+  uint64_t TotalRecords() const {
+    uint64_t n = 0;
+    for (const auto& s : sections) n += s.size();
+    return n / record_size;
+  }
+};
+
+class AceTree {
+ public:
+  /// Opens the ACE tree file `name` in `env`.
+  static Result<std::unique_ptr<AceTree>> Open(
+      io::Env* env, const std::string& name,
+      const storage::RecordLayout& layout);
+
+  const AceMeta& meta() const { return meta_; }
+  const SplitTree& splits() const { return *splits_; }
+  const storage::RecordLayout& layout() const { return layout_; }
+
+  /// Reads one leaf (a single contiguous I/O; a large leaf spans pages but
+  /// costs only one seek, per the paper's variable-size-leaf scheme).
+  Result<LeafData> ReadLeaf(uint64_t leaf_index) const;
+
+  /// Exact number of records in heap node `heap_id`'s box (from the
+  /// persisted cnt_l/cnt_r; heap_id may be internal or a leaf cell).
+  uint64_t NodeCount(uint64_t heap_id) const;
+
+  /// Estimate of |σ_Q(R)| from the internal-node counts: fully covered
+  /// subtrees contribute exactly, boundary cells are pro-rated by volume
+  /// overlap. Used by online aggregation to scale AVG to SUM.
+  Result<uint64_t> EstimateMatchCount(const sampling::RangeQuery& q) const;
+
+  /// Bytes occupied by the whole file (scan-time denominator in benches).
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  AceTree(std::unique_ptr<io::File> file, storage::RecordLayout layout,
+          AceMeta meta, std::unique_ptr<SplitTree> splits,
+          std::vector<LeafLocation> directory,
+          std::vector<uint64_t> node_counts, uint64_t file_bytes)
+      : file_(std::move(file)),
+        layout_(std::move(layout)),
+        meta_(meta),
+        splits_(std::move(splits)),
+        directory_(std::move(directory)),
+        node_counts_(std::move(node_counts)),
+        file_bytes_(file_bytes) {}
+
+  std::unique_ptr<io::File> file_;
+  storage::RecordLayout layout_;
+  AceMeta meta_;
+  std::unique_ptr<SplitTree> splits_;
+  std::vector<LeafLocation> directory_;
+  /// Record count per heap node, ids 1..2F-1 (index by id).
+  std::vector<uint64_t> node_counts_;
+  uint64_t file_bytes_;
+};
+
+}  // namespace msv::core
+
+#endif  // MSV_CORE_ACE_TREE_H_

@@ -1,0 +1,101 @@
+#include "core/combine_engine.h"
+
+#include "core/split_tree.h"
+#include "util/logging.h"
+
+namespace msv::core {
+
+CombineEngine::CombineEngine(const storage::RecordLayout* layout,
+                             const sampling::RangeQuery& query,
+                             const std::vector<std::vector<uint64_t>>& covering,
+                             size_t record_size, uint32_t height)
+    : layout_(layout),
+      query_(query),
+      record_size_(record_size),
+      height_(height) {
+  MSV_CHECK(covering.size() == height_);
+  levels_.resize(height_);
+  for (uint32_t i = 0; i < height_; ++i) {
+    LevelState& state = levels_[i];
+    state.queues.resize(covering[i].size());
+    state.node_pos.reserve(covering[i].size());
+    for (size_t j = 0; j < covering[i].size(); ++j) {
+      state.node_pos.emplace(covering[i][j], j);
+    }
+  }
+}
+
+void CombineEngine::EmitShuffled(std::string&& records,
+                                 sampling::SampleBatch* out,
+                                 Pcg64* rng) const {
+  size_t n = records.size() / record_size_;
+  if (n == 0) return;
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  Shuffle(&order, rng);
+  for (uint32_t idx : order) {
+    out->Append(records.data() + static_cast<size_t>(idx) * record_size_);
+  }
+}
+
+void CombineEngine::AddLeaf(uint64_t leaf_heap_id, const LeafData& leaf,
+                            sampling::SampleBatch* out, Pcg64* rng) {
+  MSV_CHECK(leaf.sections.size() == height_);
+  for (uint32_t level = 1; level <= height_; ++level) {
+    LevelState& state = levels_[level - 1];
+    uint64_t ancestor = SplitTree::AncestorAtLevel(leaf_heap_id, level);
+    auto it = state.node_pos.find(ancestor);
+    if (it == state.node_pos.end()) {
+      // The leaf's level-`level` ancestor does not intersect the query;
+      // can only happen for a leaf the shuttle should not have visited.
+      continue;
+    }
+    // Filter the section against the query now (the paper buffers only
+    // records matching the predicate, Sec. 8.2 / Fig. 15).
+    std::string filtered;
+    const std::string& raw = leaf.sections[level - 1];
+    size_t count = raw.size() / record_size_;
+    for (size_t r = 0; r < count; ++r) {
+      const char* rec = raw.data() + r * record_size_;
+      if (query_.Matches(*layout_, rec)) {
+        filtered.append(rec, record_size_);
+      }
+    }
+    buffered_ += filtered.size() / record_size_;
+    std::deque<std::string>& queue = state.queues[it->second];
+    if (queue.empty()) ++state.nonempty;
+    queue.push_back(std::move(filtered));
+
+    // Emit complete rounds: one contribution per covering node. (A
+    // contribution may be empty after filtering — it still counts, since
+    // rounds are about *leaf sections consumed*, not records.)
+    while (state.nonempty == state.queues.size()) {
+      std::string round;
+      for (std::deque<std::string>& q : state.queues) {
+        round += q.front();
+        q.pop_front();
+        if (q.empty()) --state.nonempty;
+      }
+      buffered_ -= round.size() / record_size_;
+      ++state.rounds;
+      EmitShuffled(std::move(round), out, rng);
+    }
+  }
+}
+
+void CombineEngine::Flush(sampling::SampleBatch* out, Pcg64* rng) {
+  std::string rest;
+  for (LevelState& state : levels_) {
+    for (std::deque<std::string>& q : state.queues) {
+      while (!q.empty()) {
+        rest += q.front();
+        q.pop_front();
+      }
+    }
+    state.nonempty = 0;
+  }
+  buffered_ = 0;
+  EmitShuffled(std::move(rest), out, rng);
+}
+
+}  // namespace msv::core

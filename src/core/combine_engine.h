@@ -1,0 +1,85 @@
+// The section combine/append engine (paper Sec. 6, Algorithm 4,
+// generalized).
+//
+// For a query Q and section level i, the level-i nodes whose boxes
+// intersect Q form the *covering set* C_i: the section-i contributions of
+// leaves under these nodes jointly span Q. Arriving leaf sections are
+// filtered against Q and queued per covering node; whenever every node in
+// C_i has at least one queued contribution, one contribution per node is
+// popped, appended (appendability), and emitted (combinability).
+//
+// Emitting in such "rounds" is exactly the condition under which the
+// running output is an unbiased sample: a record matching Q is emitted at
+// level i with probability (1/h) * rounds_i / 2^(h-i), independent of
+// where in the query range it lies, because every covering node has
+// contributed the same number of leaf sections. Leftover contributions
+// stay buffered (the paper's buckets[]; their size is the Fig. 15
+// experiment) until the final flush, which runs only when every relevant
+// leaf has been consumed — at that point the output is the complete match
+// set and unbiasedness is trivial.
+
+#ifndef MSV_CORE_COMBINE_ENGINE_H_
+#define MSV_CORE_COMBINE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ace_tree.h"
+#include "sampling/range_query.h"
+#include "sampling/sample_stream.h"
+#include "storage/record.h"
+#include "util/random.h"
+
+namespace msv::core {
+
+class CombineEngine {
+ public:
+  /// `covering` is SplitTree::CoveringSets(query): per level (index i-1),
+  /// the heap ids of level-i nodes intersecting the query.
+  CombineEngine(const storage::RecordLayout* layout,
+                const sampling::RangeQuery& query,
+                const std::vector<std::vector<uint64_t>>& covering,
+                size_t record_size, uint32_t height);
+
+  /// Feeds one retrieved leaf; appends any newly emittable samples to
+  /// `out` (shuffled so consumers see exchangeable order).
+  void AddLeaf(uint64_t leaf_heap_id, const LeafData& leaf,
+               sampling::SampleBatch* out, Pcg64* rng);
+
+  /// Emits everything still buffered. Only valid once every relevant leaf
+  /// has been fed (the caller — the sampler — guarantees this).
+  void Flush(sampling::SampleBatch* out, Pcg64* rng);
+
+  /// Matching records currently buffered (paper Fig. 15 metric).
+  uint64_t buffered_records() const { return buffered_; }
+
+  /// Completed combine rounds at section level `level` (1-based).
+  uint64_t rounds(uint32_t level) const { return levels_[level - 1].rounds; }
+
+ private:
+  struct LevelState {
+    /// queue index by covering-node heap id.
+    std::unordered_map<uint64_t, size_t> node_pos;
+    /// One FIFO of filtered section blobs per covering node.
+    std::vector<std::deque<std::string>> queues;
+    size_t nonempty = 0;
+    uint64_t rounds = 0;
+  };
+
+  void EmitShuffled(std::string&& records, sampling::SampleBatch* out,
+                    Pcg64* rng) const;
+
+  const storage::RecordLayout* layout_;
+  sampling::RangeQuery query_;
+  size_t record_size_;
+  uint32_t height_;
+  std::vector<LevelState> levels_;
+  uint64_t buffered_ = 0;
+};
+
+}  // namespace msv::core
+
+#endif  // MSV_CORE_COMBINE_ENGINE_H_

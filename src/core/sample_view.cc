@@ -1,0 +1,209 @@
+#include "core/sample_view.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace msv::core {
+
+// ---------------------------------------------------------------------------
+// ViewSampler
+// ---------------------------------------------------------------------------
+
+ViewSampler::ViewSampler(std::unique_ptr<AceSampler> base,
+                         uint64_t base_estimate,
+                         std::vector<std::string> delta_matches,
+                         size_t record_size, uint64_t seed,
+                         size_t records_per_pull)
+    : base_(std::move(base)),
+      base_estimate_(base_estimate),
+      delta_(std::move(delta_matches)),
+      record_size_(record_size),
+      rng_(seed),
+      records_per_pull_(records_per_pull) {
+  Shuffle(&delta_, &rng_);
+}
+
+uint64_t ViewSampler::BaseRemaining() const {
+  if (base_->done()) return base_queue_.size();
+  // At least one more than the queue holds (the stream is not done), but
+  // never below what we can see; otherwise trust the estimate.
+  uint64_t seen_floor = base_queue_.size() + 1;
+  uint64_t estimated = base_estimate_ > base_emitted_
+                           ? base_estimate_ - base_emitted_
+                           : 0;
+  return std::max<uint64_t>(estimated, seen_floor);
+}
+
+bool ViewSampler::done() const {
+  return base_->done() && base_queue_.empty() && delta_next_ >= delta_.size();
+}
+
+Result<sampling::SampleBatch> ViewSampler::NextBatch() {
+  sampling::SampleBatch batch;
+  batch.record_size = record_size_;
+  size_t emitted = 0;
+  while (emitted < records_per_pull_) {
+    uint64_t rb = BaseRemaining();
+    uint64_t rd = delta_.size() - delta_next_;
+    if (rb == 0 && rd == 0) break;
+    // Hypergeometric choice: the next unified sample comes from a
+    // partition with probability proportional to its remaining matches.
+    bool from_base = rng_.Below(rb + rd) < rb;
+    if (from_base) {
+      while (base_queue_.empty() && !base_->done()) {
+        MSV_ASSIGN_OR_RETURN(sampling::SampleBatch pulled,
+                             base_->NextBatch());
+        for (size_t i = 0; i < pulled.count(); ++i) {
+          base_queue_.emplace_back(pulled.record(i), record_size_);
+        }
+      }
+      if (base_queue_.empty()) continue;  // base finished under estimate
+      batch.Append(base_queue_.back().data());
+      base_queue_.pop_back();
+      ++base_emitted_;
+    } else {
+      batch.Append(delta_[delta_next_].data());
+      ++delta_next_;
+    }
+    ++emitted;
+    ++returned_;
+  }
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// MaterializedSampleView
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<MaterializedSampleView>> MaterializedSampleView::Create(
+    io::Env* env, const std::string& name, const std::string& relation_name,
+    const storage::RecordLayout& layout, const Options& options) {
+  std::unique_ptr<MaterializedSampleView> view(
+      new MaterializedSampleView(env, name, layout, options));
+  MSV_RETURN_IF_ERROR(BuildAceTree(env, relation_name, view->BaseName(),
+                                   layout, options.build));
+  // Fresh, empty differential file.
+  MSV_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::HeapFileWriter> writer,
+      storage::HeapFileWriter::Create(env, view->DeltaName(),
+                                      layout.record_size));
+  MSV_RETURN_IF_ERROR(writer->Finish());
+  MSV_RETURN_IF_ERROR(view->OpenTree());
+  MSV_RETURN_IF_ERROR(view->LoadDelta());
+  return view;
+}
+
+Result<std::unique_ptr<MaterializedSampleView>> MaterializedSampleView::Open(
+    io::Env* env, const std::string& name,
+    const storage::RecordLayout& layout, const Options& options) {
+  std::unique_ptr<MaterializedSampleView> view(
+      new MaterializedSampleView(env, name, layout, options));
+  MSV_RETURN_IF_ERROR(view->OpenTree());
+  MSV_RETURN_IF_ERROR(view->LoadDelta());
+  return view;
+}
+
+Status MaterializedSampleView::OpenTree() {
+  MSV_ASSIGN_OR_RETURN(tree_, AceTree::Open(env_, BaseName(), layout_));
+  return Status::OK();
+}
+
+Status MaterializedSampleView::LoadDelta() {
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<storage::HeapFile> delta,
+                       storage::HeapFile::Open(env_, DeltaName()));
+  delta_count_ = delta->record_count();
+  return Status::OK();
+}
+
+Status MaterializedSampleView::Insert(const char* records, size_t count) {
+  MSV_RETURN_IF_ERROR(
+      storage::AppendToHeapFile(env_, DeltaName(), records, count));
+  delta_count_ += count;
+  return Status::OK();
+}
+
+bool MaterializedSampleView::NeedsRebuild() const {
+  return static_cast<double>(delta_count_) >
+         options_.max_delta_fraction * static_cast<double>(base_records());
+}
+
+Result<std::unique_ptr<ViewSampler>> MaterializedSampleView::Sample(
+    const sampling::RangeQuery& query, uint64_t seed,
+    uint64_t exact_base_count) const {
+  MSV_RETURN_IF_ERROR(query.Validate(layout_));
+
+  // The differential file is small by design: scan it, keep the matches.
+  std::vector<std::string> delta_matches;
+  {
+    MSV_ASSIGN_OR_RETURN(std::unique_ptr<storage::HeapFile> delta,
+                         storage::HeapFile::Open(env_, DeltaName()));
+    auto scanner = delta->NewScanner();
+    for (;;) {
+      MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
+      if (rec == nullptr) break;
+      if (query.Matches(layout_, rec)) {
+        delta_matches.emplace_back(rec, layout_.record_size);
+      }
+    }
+  }
+
+  uint64_t base_estimate = exact_base_count;
+  if (base_estimate == 0) {
+    MSV_ASSIGN_OR_RETURN(base_estimate, tree_->EstimateMatchCount(query));
+  }
+  auto base = std::make_unique<AceSampler>(tree_.get(), query, seed);
+  return std::unique_ptr<ViewSampler>(new ViewSampler(
+      std::move(base), base_estimate, std::move(delta_matches),
+      layout_.record_size, seed ^ 0x9e3779b97f4a7c15ULL, 64));
+}
+
+Status MaterializedSampleView::Rebuild() {
+  // Dump the view's full contents (base leaves in order — a sequential
+  // read of the data region — plus the delta) into a scratch heap file.
+  const std::string scratch = name_ + ".rebuild";
+  {
+    MSV_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::HeapFileWriter> writer,
+        storage::HeapFileWriter::Create(env_, scratch, layout_.record_size));
+    for (uint64_t leaf = 0; leaf < tree_->meta().num_leaves; ++leaf) {
+      MSV_ASSIGN_OR_RETURN(LeafData data, tree_->ReadLeaf(leaf));
+      for (uint32_t s = 1; s <= tree_->meta().height; ++s) {
+        for (size_t i = 0; i < data.SectionCount(s); ++i) {
+          MSV_RETURN_IF_ERROR(writer->Append(data.SectionRecord(s, i)));
+        }
+      }
+    }
+    MSV_ASSIGN_OR_RETURN(std::unique_ptr<storage::HeapFile> delta,
+                         storage::HeapFile::Open(env_, DeltaName()));
+    auto scanner = delta->NewScanner();
+    for (;;) {
+      MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
+      if (rec == nullptr) break;
+      MSV_RETURN_IF_ERROR(writer->Append(rec));
+    }
+    MSV_RETURN_IF_ERROR(writer->Finish());
+  }
+
+  // Build the replacement tree, then swap it in and reset the delta.
+  const std::string new_base = BaseName() + ".new";
+  AceBuildOptions build = options_.build;
+  build.seed ^= 0x517cc1b727220a95ULL;  // fresh section/leaf randomness
+  MSV_RETURN_IF_ERROR(BuildAceTree(env_, scratch, new_base, layout_, build));
+  env_->DeleteFile(scratch).ok();
+
+  tree_.reset();  // release the old file before replacing it
+  MSV_RETURN_IF_ERROR(env_->DeleteFile(BaseName()));
+  MSV_RETURN_IF_ERROR(env_->RenameFile(new_base, BaseName()));
+  {
+    MSV_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::HeapFileWriter> writer,
+        storage::HeapFileWriter::Create(env_, DeltaName(),
+                                        layout_.record_size));
+    MSV_RETURN_IF_ERROR(writer->Finish());
+  }
+  delta_count_ = 0;
+  return OpenTree();
+}
+
+}  // namespace msv::core

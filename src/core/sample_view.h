@@ -1,0 +1,151 @@
+// MaterializedSampleView: the managed, updatable form of a sample view.
+//
+// The ACE tree is bulk-built and not incrementally updatable; the paper
+// (Sec. 9) prescribes the classic differential-file remedy: keep new
+// records in a small side file and, when sampling, draw from the ACE tree
+// or the differential file with the appropriate hypergeometric
+// probability (citing Brown & Haas for multi-partition sampling). This
+// module implements exactly that:
+//
+//   view "V"  =  V.base  (an ACE tree over the records at build time)
+//             +  V.delta (a heap file of records inserted since)
+//             +  V.manifest (geometry + counts, checksummed)
+//
+// Sampling interleaves the base tree's online sampler with an in-memory
+// shuffle of the (small) delta's matching records: each emitted record
+// comes from a partition with probability proportional to that
+// partition's remaining matching count, which keeps every prefix of the
+// unified stream a uniform random sample of base ∪ delta. Rebuild() folds
+// the delta back in by reconstructing the ACE tree from the view's own
+// contents (two external sorts again).
+
+#ifndef MSV_CORE_SAMPLE_VIEW_H_
+#define MSV_CORE_SAMPLE_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ace_builder.h"
+#include "core/ace_sampler.h"
+#include "core/ace_tree.h"
+#include "io/env.h"
+#include "sampling/sample_stream.h"
+#include "storage/heap_file.h"
+#include "util/result.h"
+
+namespace msv::core {
+
+/// A unified online sampler over base ∪ delta. Single-use, like every
+/// SampleStream.
+class ViewSampler : public sampling::SampleStream {
+ public:
+  Result<sampling::SampleBatch> NextBatch() override;
+  bool done() const override;
+  uint64_t samples_returned() const override { return returned_; }
+  std::string name() const override { return "sample-view"; }
+
+ private:
+  friend class MaterializedSampleView;
+  ViewSampler(std::unique_ptr<AceSampler> base, uint64_t base_estimate,
+              std::vector<std::string> delta_matches, size_t record_size,
+              uint64_t seed, size_t records_per_pull);
+
+  /// Remaining matching records believed to be in the base partition.
+  uint64_t BaseRemaining() const;
+
+  std::unique_ptr<AceSampler> base_;
+  std::vector<std::string> base_queue_;  // pulled but not yet emitted
+  uint64_t base_estimate_;               // matching count estimate
+  uint64_t base_emitted_ = 0;
+
+  std::vector<std::string> delta_;  // shuffled matching delta records
+  size_t delta_next_ = 0;
+
+  size_t record_size_;
+  Pcg64 rng_;
+  size_t records_per_pull_;
+  uint64_t returned_ = 0;
+};
+
+/// Catalog-level handle to one named sample view.
+class MaterializedSampleView {
+ public:
+  struct Options {
+    AceBuildOptions build;
+    /// Rebuild is recommended when the delta exceeds this fraction of the
+    /// base (NeedsRebuild()).
+    double max_delta_fraction = 0.10;
+  };
+
+  /// Creates view `name` over the records of heap file `relation_name`.
+  static Result<std::unique_ptr<MaterializedSampleView>> Create(
+      io::Env* env, const std::string& name, const std::string& relation_name,
+      const storage::RecordLayout& layout, const Options& options);
+  static Result<std::unique_ptr<MaterializedSampleView>> Create(
+      io::Env* env, const std::string& name, const std::string& relation_name,
+      const storage::RecordLayout& layout) {
+    return Create(env, name, relation_name, layout, Options());
+  }
+
+  /// Opens an existing view.
+  static Result<std::unique_ptr<MaterializedSampleView>> Open(
+      io::Env* env, const std::string& name,
+      const storage::RecordLayout& layout, const Options& options);
+  static Result<std::unique_ptr<MaterializedSampleView>> Open(
+      io::Env* env, const std::string& name,
+      const storage::RecordLayout& layout) {
+    return Open(env, name, layout, Options());
+  }
+
+  /// Appends new records (record_size bytes each) to the differential
+  /// file. Visible to samplers created afterwards.
+  Status Insert(const char* records, size_t count);
+
+  /// Records in the base ACE tree / in the differential file.
+  uint64_t base_records() const { return tree_->meta().num_records; }
+  uint64_t delta_records() const { return delta_count_; }
+  bool NeedsRebuild() const;
+
+  /// Starts a unified online sampler for `query`. `exact_base_count`, if
+  /// non-zero, overrides the internal-node estimate of the base match
+  /// count (callers that know it — e.g. from a prior completed stream —
+  /// get an exactly hypergeometric interleave; the estimate is within
+  /// one boundary cell otherwise).
+  Result<std::unique_ptr<ViewSampler>> Sample(
+      const sampling::RangeQuery& query, uint64_t seed,
+      uint64_t exact_base_count = 0) const;
+
+  /// Folds the delta into a fresh ACE tree built from the view's own
+  /// contents; the delta becomes empty. Costs two external sorts plus
+  /// sequential passes, like the original build.
+  Status Rebuild();
+
+  const AceTree& tree() const { return *tree_; }
+
+ private:
+  MaterializedSampleView(io::Env* env, std::string name,
+                         storage::RecordLayout layout, Options options)
+      : env_(env),
+        name_(std::move(name)),
+        layout_(std::move(layout)),
+        options_(options) {}
+
+  std::string BaseName() const { return name_ + ".base"; }
+  std::string DeltaName() const { return name_ + ".delta"; }
+
+  Status LoadDelta();
+  Status OpenTree();
+
+  io::Env* env_;
+  std::string name_;
+  storage::RecordLayout layout_;
+  Options options_;
+  std::unique_ptr<AceTree> tree_;
+  std::unique_ptr<storage::HeapFileWriter> delta_writer_;
+  uint64_t delta_count_ = 0;
+};
+
+}  // namespace msv::core
+
+#endif  // MSV_CORE_SAMPLE_VIEW_H_

@@ -1,0 +1,100 @@
+#include "core/split_tree.h"
+
+namespace msv::core {
+
+bool BoxOverlapsQuery(const Box& b, const sampling::RangeQuery& q) {
+  for (size_t d = 0; d < q.dims; ++d) {
+    // box [lo, hi) vs query [qlo, qhi]
+    if (!(q.bounds[d].lo < b.hi[d] && b.lo[d] <= q.bounds[d].hi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BoxCoversQuery(const Box& b, const sampling::RangeQuery& q) {
+  for (size_t d = 0; d < q.dims; ++d) {
+    if (!(b.lo[d] <= q.bounds[d].lo && q.bounds[d].hi < b.hi[d])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SplitTree::SplitTree(uint32_t height, uint32_t dims,
+                     std::vector<InternalNode> nodes, Box root_box)
+    : height_(height),
+      dims_(dims),
+      num_leaves_(1ull << (height - 1)),
+      nodes_(std::move(nodes)),
+      root_box_(root_box) {
+  MSV_CHECK(height_ >= 1);
+  MSV_CHECK(dims_ >= 1 && dims_ <= storage::kMaxKeyDims);
+  MSV_CHECK(nodes_.size() == num_leaves_ - 1);
+  root_box_.dims = dims_;
+}
+
+Box SplitTree::ChildBox(const Box& parent, uint64_t heap_id,
+                        bool left) const {
+  const InternalNode& n = node(heap_id);
+  Box child = parent;
+  if (left) {
+    child.hi[n.split_dim] = n.split_key;
+  } else {
+    child.lo[n.split_dim] = n.split_key;
+  }
+  return child;
+}
+
+Box SplitTree::BoxOf(uint64_t heap_id) const {
+  MSV_CHECK(heap_id >= 1 && heap_id < 2 * num_leaves_);
+  Box box = root_box_;
+  uint32_t level = LevelOf(heap_id);
+  // Walk root-to-node following the bits of heap_id below its leading 1.
+  for (uint32_t l = 1; l < level; ++l) {
+    uint64_t ancestor = heap_id >> (level - l);
+    bool went_left = ((heap_id >> (level - l - 1)) & 1) == 0;
+    box = ChildBox(box, ancestor, went_left);
+  }
+  return box;
+}
+
+uint64_t SplitTree::DescendToLevel(const double* keys, uint32_t level) const {
+  MSV_DCHECK(level >= 1 && level <= height_);
+  uint64_t id = 1;
+  for (uint32_t l = 1; l < level; ++l) {
+    const InternalNode& n = node(id);
+    id = 2 * id + (keys[n.split_dim] < n.split_key ? 0 : 1);
+  }
+  return id;
+}
+
+std::vector<std::vector<uint64_t>> SplitTree::CoveringSets(
+    const sampling::RangeQuery& q) const {
+  std::vector<std::vector<uint64_t>> covering(height_);
+  // Iterative DFS from the root; boxes are threaded down the stack.
+  struct Item {
+    uint64_t id;
+    Box box;
+  };
+  std::vector<Item> stack;
+  if (BoxOverlapsQuery(root_box_, q)) {
+    stack.push_back({1, root_box_});
+  }
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    uint32_t level = LevelOf(item.id);
+    covering[level - 1].push_back(item.id);
+    if (item.id < num_leaves_) {  // internal: recurse into children
+      Box lbox = ChildBox(item.box, item.id, /*left=*/true);
+      Box rbox = ChildBox(item.box, item.id, /*left=*/false);
+      // Push right first so ids come out in ascending heap order.
+      if (BoxOverlapsQuery(rbox, q)) stack.push_back({2 * item.id + 1, rbox});
+      if (BoxOverlapsQuery(lbox, q)) stack.push_back({2 * item.id, lbox});
+    }
+  }
+  return covering;
+}
+
+}  // namespace msv::core

@@ -1,0 +1,114 @@
+// In-memory complete binary split tree shared by the ACE Tree builder,
+// reader and query algorithm.
+//
+// Heap numbering: node 1 is the root; node n has children 2n and 2n+1.
+// Internal nodes occupy ids [1, F) and leaves occupy [F, 2F) where
+// F = 2^(h-1) is the leaf count. The *level* of node n is
+// floor(log2 n) + 1, so the root is level 1 and leaves are level h —
+// matching the paper's numbering of leaf ranges R_1..R_h and sections
+// S_1..S_h: L.R_i is the box of L's level-i ancestor.
+//
+// Each internal node splits its box on one dimension: records with
+// key < split_key go left. Boxes are half-open per dimension, so sibling
+// boxes partition their parent exactly.
+
+#ifndef MSV_CORE_SPLIT_TREE_H_
+#define MSV_CORE_SPLIT_TREE_H_
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/ace_format.h"
+#include "sampling/range_query.h"
+#include "util/logging.h"
+
+namespace msv::core {
+
+/// True when half-open box `b` intersects the closed query `q`.
+bool BoxOverlapsQuery(const Box& b, const sampling::RangeQuery& q);
+
+/// True when box `b` fully contains the closed query `q`.
+bool BoxCoversQuery(const Box& b, const sampling::RangeQuery& q);
+
+class SplitTree {
+ public:
+  /// `nodes` holds the F-1 internal nodes indexed by heap id - 1. For
+  /// height 1 (a single leaf) `nodes` is empty.
+  SplitTree(uint32_t height, uint32_t dims, std::vector<InternalNode> nodes,
+            Box root_box);
+
+  uint32_t height() const { return height_; }
+  uint32_t dims() const { return dims_; }
+  uint64_t num_leaves() const { return num_leaves_; }
+  const Box& root_box() const { return root_box_; }
+
+  const InternalNode& node(uint64_t heap_id) const {
+    MSV_DCHECK(heap_id >= 1 && heap_id < num_leaves_);
+    return nodes_[heap_id - 1];
+  }
+  const std::vector<InternalNode>& nodes() const { return nodes_; }
+
+  /// 1-based level of a heap node (root = 1, leaves = height()).
+  static uint32_t LevelOf(uint64_t heap_id) {
+    return std::bit_width(heap_id);
+  }
+
+  /// Heap id of leaf number `leaf` (0-based).
+  uint64_t LeafHeapId(uint64_t leaf) const { return num_leaves_ + leaf; }
+
+  /// Leaf number of a leaf heap id.
+  uint64_t LeafIndexOf(uint64_t heap_id) const {
+    MSV_DCHECK(heap_id >= num_leaves_ && heap_id < 2 * num_leaves_);
+    return heap_id - num_leaves_;
+  }
+
+  /// Heap id of the level-`level` ancestor of `heap_id` (level must not
+  /// exceed the node's own level).
+  static uint64_t AncestorAtLevel(uint64_t heap_id, uint32_t level) {
+    return heap_id >> (LevelOf(heap_id) - level);
+  }
+
+  /// Leaf-number interval [lo, hi) of the leaves in node `heap_id`'s
+  /// subtree.
+  std::pair<uint64_t, uint64_t> LeavesUnder(uint64_t heap_id) const {
+    uint32_t level = LevelOf(heap_id);
+    uint64_t width = num_leaves_ >> (level - 1);
+    uint64_t first = heap_id * width - num_leaves_;
+    return {first, first + width};
+  }
+
+  /// Box of one child of internal node `heap_id`, given the node's box.
+  Box ChildBox(const Box& parent, uint64_t heap_id, bool left) const;
+
+  /// Box of an arbitrary heap node (root-to-node descent).
+  Box BoxOf(uint64_t heap_id) const;
+
+  /// Heap id of the node at `level` on the root-to-leaf path of a record
+  /// with the given key vector (level in [1, height]).
+  uint64_t DescendToLevel(const double* keys, uint32_t level) const;
+
+  /// Finest-level cell (leaf number) a record's keys fall into.
+  uint64_t CellOf(const double* keys) const {
+    return LeafIndexOf(DescendToLevel(keys, height_));
+  }
+
+  /// For each level i (index i-1 of the result), the heap ids of all
+  /// level-i nodes whose box intersects `q`, in heap-id order. These are
+  /// the paper's per-section covering sets: the section-i contributions of
+  /// leaves under these nodes, taken together, span the query.
+  std::vector<std::vector<uint64_t>> CoveringSets(
+      const sampling::RangeQuery& q) const;
+
+ private:
+  uint32_t height_;
+  uint32_t dims_;
+  uint64_t num_leaves_;
+  std::vector<InternalNode> nodes_;
+  Box root_box_;
+};
+
+}  // namespace msv::core
+
+#endif  // MSV_CORE_SPLIT_TREE_H_

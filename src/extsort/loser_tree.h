@@ -1,0 +1,96 @@
+// Loser-tree (tournament tree) k-way merge selector.
+//
+// Classic external-merge machinery: after initialization, each Pop returns
+// the index of the input holding the smallest current record and replays
+// exactly ceil(log2 k) comparisons to restore the tree, independent of k.
+
+#ifndef MSV_EXTSORT_LOSER_TREE_H_
+#define MSV_EXTSORT_LOSER_TREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace msv::extsort {
+
+/// Selection tree over `k` inputs. The caller supplies a comparator over
+/// input indices ("does input a's current record sort before input b's?")
+/// and a predicate saying whether an input is exhausted.
+class LoserTree {
+ public:
+  using IndexLess = std::function<bool(size_t, size_t)>;
+  using Exhausted = std::function<bool(size_t)>;
+
+  LoserTree(size_t k, IndexLess less, Exhausted exhausted)
+      : k_(k), less_(std::move(less)), exhausted_(std::move(exhausted)) {
+    MSV_CHECK(k_ > 0);
+    tree_.assign(k_, kInvalid);
+    // Play the complete initial tournament: internal node n stores the
+    // loser of the match between its two subtrees' winners.
+    winner_ = Play(1);
+    if (winner_ != kInvalid && exhausted_(winner_)) {
+      winner_ = kInvalid;
+    }
+  }
+
+  /// Index of the input currently holding the global minimum, or kInvalid
+  /// when all inputs are exhausted.
+  size_t Top() const { return winner_; }
+
+  /// After the caller advances input Top(), restores the tournament.
+  void Advance() { Replay(winner_); }
+
+  static constexpr size_t kInvalid = static_cast<size_t>(-1);
+
+ private:
+  // True when a should be preferred over b (smaller record, with exhausted
+  // inputs ranked last).
+  bool Prefer(size_t a, size_t b) const {
+    if (a == kInvalid) return false;
+    if (b == kInvalid) return true;
+    bool a_done = exhausted_(a);
+    bool b_done = exhausted_(b);
+    if (a_done || b_done) return !a_done && b_done;
+    return less_(a, b);
+  }
+
+  // Initial tournament below tree position `node`; returns the winner.
+  // Positions >= k_ denote leaves (input index = position - k_), matching
+  // the leaf-to-parent map used by Replay.
+  size_t Play(size_t node) {
+    if (node >= k_) return node - k_;
+    size_t a = Play(2 * node);
+    size_t b = (2 * node + 1 < 2 * k_) ? Play(2 * node + 1) : kInvalid;
+    size_t winner = Prefer(a, b) ? a : b;
+    tree_[node] = (winner == a) ? b : a;
+    return winner;
+  }
+
+  // Re-plays matches from leaf `input` up to the root.
+  void Replay(size_t input) {
+    size_t winner = input;
+    size_t node = (input + k_) / 2;
+    while (node > 0) {
+      if (Prefer(tree_[node], winner)) {
+        std::swap(tree_[node], winner);
+      }
+      node /= 2;
+    }
+    winner_ = winner;
+    if (winner_ != kInvalid && exhausted_(winner_)) {
+      winner_ = kInvalid;
+    }
+  }
+
+  size_t k_;
+  IndexLess less_;
+  Exhausted exhausted_;
+  std::vector<size_t> tree_;  // internal nodes hold match losers
+  size_t winner_ = kInvalid;
+};
+
+}  // namespace msv::extsort
+
+#endif  // MSV_EXTSORT_LOSER_TREE_H_

@@ -1,0 +1,110 @@
+#include "io/buffer_pool.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace msv::io {
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->Unpin(frame_);
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() {
+  if (pool_ != nullptr) pool_->Unpin(frame_);
+}
+
+BufferPool::BufferPool(size_t page_size, size_t capacity_pages)
+    : page_size_(page_size), capacity_(capacity_pages) {
+  MSV_CHECK(page_size_ > 0);
+  MSV_CHECK(capacity_ > 0);
+  frames_.resize(capacity_);
+  map_.reserve(capacity_ * 2);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  MSV_DCHECK(frame < frames_.size());
+  MSV_DCHECK(frames_[frame].pins > 0);
+  --frames_[frame].pins;
+}
+
+Result<size_t> BufferPool::FindVictim() {
+  // First prefer an empty frame, then the unpinned frame with the oldest
+  // access tick. Linear scan is fine at the pool sizes we use.
+  size_t victim = frames_.size();
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (!f.valid) return i;
+    if (f.pins == 0 && f.tick < oldest) {
+      oldest = f.tick;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::ResourceExhausted("buffer pool: all pages pinned");
+  }
+  return victim;
+}
+
+Result<PageRef> BufferPool::Get(File* file, uint64_t file_id,
+                                uint64_t page_no) {
+  Key key{file_id, page_no};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    Frame& f = frames_[it->second];
+    ++stats_.hits;
+    f.tick = ++tick_;
+    ++f.pins;
+    return PageRef(this, it->second, f.data.data(), f.length);
+  }
+
+  ++stats_.misses;
+  MSV_ASSIGN_OR_RETURN(size_t frame_idx, FindVictim());
+  Frame& f = frames_[frame_idx];
+  if (f.valid) {
+    map_.erase(Key{f.file_id, f.page_no});
+    ++stats_.evictions;
+    f.valid = false;
+  }
+  if (f.data.size() != page_size_) f.data.resize(page_size_);
+
+  MSV_ASSIGN_OR_RETURN(
+      size_t got,
+      file->Read(page_no * page_size_, page_size_, f.data.data()));
+  if (got == 0) {
+    return Status::OutOfRange("page " + std::to_string(page_no) +
+                              " is beyond end of file");
+  }
+
+  f.file_id = file_id;
+  f.page_no = page_no;
+  f.length = got;
+  f.pins = 1;
+  f.tick = ++tick_;
+  f.valid = true;
+  map_.emplace(key, frame_idx);
+  return PageRef(this, frame_idx, f.data.data(), f.length);
+}
+
+void BufferPool::Clear() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.valid && f.pins == 0) {
+      map_.erase(Key{f.file_id, f.page_no});
+      f.valid = false;
+    }
+  }
+}
+
+}  // namespace msv::io

@@ -1,0 +1,126 @@
+// Read-only LRU buffer pool with page pinning.
+//
+// Index samplers (notably ranked B+-Tree sampling, Sec. 2.2 of the paper)
+// depend heavily on the DBMS buffer manager: once a leaf page is cached,
+// further samples from it are free. The pool caches fixed-size pages of a
+// File keyed by (file id, page number) and evicts the least-recently-used
+// unpinned page when full.
+
+#ifndef MSV_IO_BUFFER_POOL_H_
+#define MSV_IO_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "io/env.h"
+#include "util/result.h"
+
+namespace msv::io {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class BufferPool;
+
+/// A pinned view of one cached page. The page stays resident while any
+/// PageRef to it is alive. Movable, not copyable.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  /// Page bytes; size() bytes long (short final pages keep logical size).
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return pool_ != nullptr; }
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, size_t frame, const char* data, size_t size)
+      : pool_(pool), frame_(frame), data_(data), size_(size) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Fixed-capacity page cache. Not thread-safe (the reproduction is
+/// single-threaded per device, like the paper's experiments).
+class BufferPool {
+ public:
+  /// `capacity_pages` frames of `page_size` bytes each.
+  BufferPool(size_t page_size, size_t capacity_pages);
+
+  /// Returns a pinned reference to page `page_no` of `file`, reading it on
+  /// a miss. `file_id` must uniquely identify the file across calls.
+  Result<PageRef> Get(File* file, uint64_t file_id, uint64_t page_no);
+
+  /// Drops every unpinned page (e.g. between benchmark queries).
+  void Clear();
+
+  size_t page_size() const { return page_size_; }
+  size_t capacity() const { return capacity_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+  /// Number of frames currently holding a page.
+  size_t resident_pages() const { return map_.size(); }
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    std::vector<char> data;
+    uint64_t file_id = 0;
+    uint64_t page_no = 0;
+    size_t length = 0;  // logical bytes (short at EOF)
+    int pins = 0;
+    uint64_t tick = 0;
+    bool valid = false;
+  };
+
+  struct Key {
+    uint64_t file_id;
+    uint64_t page_no;
+    bool operator==(const Key& o) const {
+      return file_id == o.file_id && page_no == o.page_no;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.file_id * 0x9e3779b97f4a7c15ULL ^
+                                   k.page_no);
+    }
+  };
+
+  void Unpin(size_t frame);
+  Result<size_t> FindVictim();
+
+  size_t page_size_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<Key, size_t, KeyHash> map_;
+  BufferPoolStats stats_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace msv::io
+
+#endif  // MSV_IO_BUFFER_POOL_H_

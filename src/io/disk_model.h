@@ -1,0 +1,105 @@
+// Simulated rotating-disk cost model.
+//
+// The paper's evaluation ran on 15,000 RPM SCSI disks and reports elapsed
+// time normalized to the time required to scan the whole relation. To
+// reproduce those curve shapes on arbitrary hardware, every file access in
+// a benchmark is routed through a DiskDevice that charges modeled time:
+//
+//   * a discontiguous access pays average seek + rotational latency, then
+//     transfer time proportional to length;
+//   * an access starting exactly where the previous one ended pays transfer
+//     time only (sequential I/O).
+//
+// Time accumulates on a SimClock owned by the device; benchmark harnesses
+// read it between sampling steps. Accesses to *different* files on the same
+// device also interfere (the head moves), which is what penalizes the
+// one-record-per-random-I/O behaviour of ranked B+-Tree sampling.
+
+#ifndef MSV_IO_DISK_MODEL_H_
+#define MSV_IO_DISK_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+
+namespace msv::io {
+
+/// Tunable physical parameters. Defaults approximate the paper's 15k-RPM
+/// SCSI drives.
+struct DiskModelOptions {
+  /// Average head-seek time for a discontiguous access, in milliseconds.
+  double seek_ms = 3.5;
+  /// Average rotational latency in milliseconds (half a revolution;
+  /// 15,000 RPM -> 4 ms/rev -> 2 ms average).
+  double rotational_ms = 2.0;
+  /// Effective sustained scan rate in MB/s. The paper reports 15 s as
+  /// "approximately 4%" of the 20 GB relation scan, implying ~53 MB/s
+  /// through the query engine; 50 MB/s is also a typical 2005-era rate.
+  double transfer_mb_per_s = 50.0;
+  /// Fixed per-request overhead (controller/command), in milliseconds.
+  double request_overhead_ms = 0.1;
+
+  Status Validate() const;
+};
+
+/// Monotone simulated clock, in milliseconds.
+class SimClock {
+ public:
+  double NowMs() const { return now_ms_; }
+  void AdvanceMs(double ms) { now_ms_ += ms; }
+  void Reset() { now_ms_ = 0.0; }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+/// Aggregate I/O counters for a device.
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t written_bytes = 0;
+  uint64_t seeks = 0;           ///< discontiguous accesses (paid seek+rot)
+  uint64_t sequential_ios = 0;  ///< contiguous accesses (transfer only)
+};
+
+/// One simulated disk: a clock, a head position, and stats. Every file
+/// opened through a SimEnv bound to this device charges time here.
+class DiskDevice {
+ public:
+  explicit DiskDevice(DiskModelOptions options = {});
+
+  /// Charges the model cost of an access of `len` bytes at absolute device
+  /// position `pos` and advances the head.
+  void Access(uint64_t pos, uint64_t len, bool is_write);
+
+  /// Model time to read `bytes` sequentially from a cold start; the
+  /// normalization denominator for all paper figures.
+  double SequentialScanMs(uint64_t bytes) const;
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  const DiskStats& stats() const { return stats_; }
+  const DiskModelOptions& options() const { return options_; }
+
+  void ResetStats() { stats_ = DiskStats(); }
+
+ private:
+  DiskModelOptions options_;
+  SimClock clock_;
+  DiskStats stats_;
+  uint64_t head_pos_ = 0;
+  bool head_valid_ = false;
+};
+
+/// An Env decorator: files opened through it behave exactly like the inner
+/// Env's files but charge time on the given device. Each distinct file is
+/// assigned a disjoint region of the simulated platter so that interleaved
+/// access to two files produces seeks, as on a real disk.
+std::unique_ptr<Env> NewSimEnv(Env* inner, std::shared_ptr<DiskDevice> device);
+
+}  // namespace msv::io
+
+#endif  // MSV_IO_DISK_MODEL_H_

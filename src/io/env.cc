@@ -1,0 +1,271 @@
+#include "io/env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace msv::io {
+
+Status File::ReadExact(uint64_t offset, size_t n, char* scratch) {
+  MSV_ASSIGN_OR_RETURN(size_t got, Read(offset, n, scratch));
+  if (got != n) {
+    return Status::IOError("short read: wanted " + std::to_string(n) +
+                           " bytes at offset " + std::to_string(offset) +
+                           ", got " + std::to_string(got));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// In-memory environment
+// ---------------------------------------------------------------------------
+
+struct MemFileData {
+  std::vector<char> bytes;
+};
+
+class MemFile : public File {
+ public:
+  explicit MemFile(std::shared_ptr<MemFileData> data)
+      : data_(std::move(data)) {}
+
+  Result<size_t> Read(uint64_t offset, size_t n, char* scratch) override {
+    const auto& bytes = data_->bytes;
+    if (offset >= bytes.size()) return static_cast<size_t>(0);
+    size_t avail = bytes.size() - static_cast<size_t>(offset);
+    size_t got = std::min(n, avail);
+    std::memcpy(scratch, bytes.data() + offset, got);
+    return got;
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    auto& bytes = data_->bytes;
+    uint64_t end = offset + n;
+    if (end > bytes.size()) bytes.resize(static_cast<size_t>(end));
+    std::memcpy(bytes.data() + offset, data, n);
+    return Status::OK();
+  }
+
+  Status Append(const char* data, size_t n) override {
+    auto& bytes = data_->bytes;
+    bytes.insert(bytes.end(), data, data + n);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    return static_cast<uint64_t>(data_->bytes.size());
+  }
+
+  Status Truncate(uint64_t size) override {
+    data_->bytes.resize(static_cast<size_t>(size));
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemFileData> data_;
+};
+
+class MemEnv : public Env {
+ public:
+  Result<std::unique_ptr<File>> OpenFile(const std::string& name,
+                                         bool create) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end()) {
+      if (!create) {
+        return Status::NotFound("no such file: " + name);
+      }
+      it = files_.emplace(name, std::make_shared<MemFileData>()).first;
+    }
+    return std::unique_ptr<File>(new MemFile(it->second));
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(name) == 0) {
+      return Status::NotFound("no such file: " + name);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(from);
+    if (it == files_.end()) {
+      return Status::NotFound("no such file: " + from);
+    }
+    files_[to] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  Result<bool> FileExists(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(name) > 0;
+  }
+
+  Result<std::vector<std::string>> ListFiles() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(files_.size());
+    for (const auto& [name, _] : files_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFileData>> files_;
+};
+
+// ---------------------------------------------------------------------------
+// POSIX environment (stdio-based; adequate for single-threaded benches)
+// ---------------------------------------------------------------------------
+
+class PosixFile : public File {
+ public:
+  explicit PosixFile(std::FILE* f) : f_(f) {}
+  ~PosixFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Result<size_t> Read(uint64_t offset, size_t n, char* scratch) override {
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError(std::string("fseek: ") + std::strerror(errno));
+    }
+    size_t got = std::fread(scratch, 1, n, f_);
+    if (got < n && std::ferror(f_)) {
+      std::clearerr(f_);
+      return Status::IOError("fread failed");
+    }
+    return got;
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError(std::string("fseek: ") + std::strerror(errno));
+    }
+    if (std::fwrite(data, 1, n, f_) != n) {
+      return Status::IOError("fwrite failed");
+    }
+    return Status::OK();
+  }
+
+  Status Append(const char* data, size_t n) override {
+    if (std::fseek(f_, 0, SEEK_END) != 0) {
+      return Status::IOError(std::string("fseek: ") + std::strerror(errno));
+    }
+    if (std::fwrite(data, 1, n, f_) != n) {
+      return Status::IOError("fwrite failed");
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    long cur = std::ftell(f_);
+    if (std::fseek(f_, 0, SEEK_END) != 0) {
+      return Status::IOError("fseek failed");
+    }
+    long size = std::ftell(f_);
+    std::fseek(f_, cur, SEEK_SET);
+    if (size < 0) return Status::IOError("ftell failed");
+    return static_cast<uint64_t>(size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    // stdio has no portable truncate; emulate shrink by rewrite only when
+    // extending (the library only ever extends files).
+    MSV_ASSIGN_OR_RETURN(uint64_t cur, Size());
+    if (size < cur) {
+      return Status::NotSupported("PosixFile::Truncate cannot shrink");
+    }
+    if (size > cur) {
+      char zero = 0;
+      return Write(size - 1, &zero, 1);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (std::fflush(f_) != 0) return Status::IOError("fflush failed");
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+class PosixEnv : public Env {
+ public:
+  explicit PosixEnv(std::string root) : root_(std::move(root)) {
+    if (!root_.empty() && root_.back() != '/') root_ += '/';
+  }
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& name,
+                                         bool create) override {
+    std::string path = root_ + name;
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    if (f == nullptr) {
+      if (!create) return Status::NotFound("no such file: " + path);
+      f = std::fopen(path.c_str(), "w+b");
+      if (f == nullptr) {
+        return Status::IOError("cannot create " + path + ": " +
+                               std::strerror(errno));
+      }
+    }
+    return std::unique_ptr<File>(new PosixFile(f));
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    std::string path = root_ + name;
+    if (std::remove(path.c_str()) != 0) {
+      return Status::NotFound("cannot remove " + path);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename((root_ + from).c_str(), (root_ + to).c_str()) != 0) {
+      return Status::IOError("rename " + from + " -> " + to + " failed");
+    }
+    return Status::OK();
+  }
+
+  Result<bool> FileExists(const std::string& name) override {
+    std::string path = root_ + name;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+  }
+
+  Result<std::vector<std::string>> ListFiles() override {
+    return Status::NotSupported("PosixEnv::ListFiles");
+  }
+
+ private:
+  std::string root_;
+};
+
+}  // namespace
+
+Env* Env::Memory() {
+  static MemEnv* env = new MemEnv();
+  return env;
+}
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+std::unique_ptr<Env> NewPosixEnv(std::string root) {
+  return std::make_unique<PosixEnv>(std::move(root));
+}
+
+}  // namespace msv::io

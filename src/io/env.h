@@ -1,0 +1,86 @@
+// Storage environment abstraction (RocksDB-style Env).
+//
+// All file access in the library goes through Env/File so that every index
+// structure can run unchanged against:
+//   * MemEnv    - an in-process byte-vector filesystem (fast, deterministic;
+//                 the default for tests and simulated-disk benchmarks), or
+//   * PosixEnv  - real files on the host filesystem.
+//
+// The simulated-disk benchmark harness wraps either Env with SimEnv (see
+// disk_model.h) to charge modeled seek/rotation/transfer time per access.
+
+#ifndef MSV_IO_ENV_H_
+#define MSV_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace msv::io {
+
+/// A random-access file supporting positional reads/writes and append.
+/// Implementations are not required to be thread-safe.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads up to `n` bytes starting at `offset` into `scratch`. Returns the
+  /// number of bytes actually read (short only at end-of-file).
+  virtual Result<size_t> Read(uint64_t offset, size_t n, char* scratch) = 0;
+
+  /// Writes `n` bytes at `offset`, extending the file if needed.
+  virtual Status Write(uint64_t offset, const char* data, size_t n) = 0;
+
+  /// Appends `n` bytes at the current end of file.
+  virtual Status Append(const char* data, size_t n) = 0;
+
+  /// Current file size in bytes.
+  virtual Result<uint64_t> Size() const = 0;
+
+  /// Truncates or extends the file to exactly `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Flushes buffered data to stable storage (no-op for MemEnv).
+  virtual Status Sync() = 0;
+
+  /// Reads exactly `n` bytes or fails with IOError.
+  Status ReadExact(uint64_t offset, size_t n, char* scratch);
+};
+
+/// Factory and namespace for files.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `name`; creates it when `create` is true, otherwise fails with
+  /// NotFound for missing files. An existing file is opened as-is (never
+  /// truncated).
+  virtual Result<std::unique_ptr<File>> OpenFile(const std::string& name,
+                                                 bool create) = 0;
+
+  virtual Status DeleteFile(const std::string& name) = 0;
+
+  /// Atomically replaces `to` (if any) with `from`. `from` must exist.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Result<bool> FileExists(const std::string& name) = 0;
+  virtual Result<std::vector<std::string>> ListFiles() = 0;
+
+  /// Process-wide in-memory environment (never nullptr).
+  static Env* Memory();
+};
+
+/// Creates a fresh, private in-memory environment.
+std::unique_ptr<Env> NewMemEnv();
+
+/// Creates an environment backed by the host filesystem rooted at `root`
+/// (file names are interpreted relative to it). The directory must exist.
+std::unique_ptr<Env> NewPosixEnv(std::string root);
+
+}  // namespace msv::io
+
+#endif  // MSV_IO_ENV_H_

@@ -1,0 +1,82 @@
+// Statement AST for MSVQL.
+
+#ifndef MSV_QUERY_AST_H_
+#define MSV_QUERY_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace msv::query {
+
+/// `column BETWEEN lo AND hi`.
+struct BetweenPredicate {
+  std::string column;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// GENERATE TABLE name ROWS n [SEED s];
+struct GenerateTableStmt {
+  std::string table;
+  uint64_t rows = 0;
+  uint64_t seed = 42;
+};
+
+/// CREATE MATERIALIZED SAMPLE VIEW v AS SELECT * FROM t INDEX ON c1[, c2];
+struct CreateViewStmt {
+  std::string view;
+  std::string table;
+  std::vector<std::string> index_columns;
+};
+
+/// SAMPLE FROM v [WHERE preds] [LIMIT n];
+struct SampleStmt {
+  std::string view;
+  std::vector<BetweenPredicate> predicates;
+  uint64_t limit = 10;
+};
+
+/// ESTIMATE AVG(col) | SUM(col) | COUNT(*) FROM v [WHERE preds]
+///   [SAMPLES n] [CONFIDENCE p];
+struct EstimateStmt {
+  enum class Agg { kAvg, kSum, kCount };
+  Agg agg = Agg::kAvg;
+  std::string column;  // empty for COUNT(*)
+  std::string view;
+  std::vector<BetweenPredicate> predicates;
+  /// Optional GROUP BY column (integer-typed); empty = no grouping.
+  std::string group_by;
+  uint64_t samples = 1000;
+  double confidence = 0.95;
+};
+
+/// INSERT INTO v ROWS n [SEED s];  (generated rows appended to the delta)
+struct InsertStmt {
+  std::string view;
+  uint64_t rows = 0;
+  uint64_t seed = 43;
+};
+
+/// REBUILD v;
+struct RebuildStmt {
+  std::string view;
+};
+
+/// DROP VIEW v;
+struct DropViewStmt {
+  std::string view;
+};
+
+/// SHOW VIEWS; / SHOW TABLES;
+struct ShowStmt {
+  bool views = true;  // false -> tables
+};
+
+using Statement =
+    std::variant<GenerateTableStmt, CreateViewStmt, SampleStmt, EstimateStmt,
+                 InsertStmt, RebuildStmt, DropViewStmt, ShowStmt>;
+
+}  // namespace msv::query
+
+#endif  // MSV_QUERY_AST_H_

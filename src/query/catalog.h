@@ -1,0 +1,93 @@
+// Catalog: named tables and sample views, persisted inside the Env so a
+// session can reopen them.
+//
+// The storage layer works on fixed-size records; the catalog attaches
+// column names/types so MSVQL statements can reference them. The SALE
+// schema of the paper is built in; tables are materialized with
+// GENERATE TABLE.
+
+#ifndef MSV_QUERY_CATALOG_H_
+#define MSV_QUERY_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sample_view.h"
+#include "io/env.h"
+#include "storage/record.h"
+#include "util/result.h"
+
+namespace msv::query {
+
+enum class ColumnType { kDouble, kUint64 };
+
+struct Column {
+  std::string name;
+  ColumnType type;
+  size_t offset;
+};
+
+/// A table schema over fixed-size records.
+struct TableSchema {
+  std::string name;       // schema name ("sale")
+  size_t record_size = 0;
+  std::vector<Column> columns;
+
+  const Column* Find(const std::string& column_name) const;
+  /// Value of a column as a double (u64 columns are converted).
+  double Value(const char* record, const Column& column) const;
+
+  /// The paper's SALE schema.
+  static const TableSchema& Sale();
+};
+
+struct TableInfo {
+  std::string name;  // table name
+  std::string file;  // heap file name in the env
+  const TableSchema* schema;
+};
+
+struct ViewInfo {
+  std::string name;
+  std::string table;                       // base table name
+  std::vector<std::string> index_columns;  // key dimensions, in order
+};
+
+/// Named tables and views; persists itself to a catalog file in the Env.
+class Catalog {
+ public:
+  /// Opens (or initializes) the catalog stored at `file_name`.
+  static Result<std::unique_ptr<Catalog>> Open(io::Env* env,
+                                               std::string file_name);
+
+  Status AddTable(const std::string& name, const std::string& file,
+                  const TableSchema* schema);
+  Status AddView(const ViewInfo& view);
+  Status DropView(const std::string& name);
+
+  const TableInfo* FindTable(const std::string& name) const;
+  const ViewInfo* FindView(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+
+  /// Record layout implied by a view's index columns.
+  Result<storage::RecordLayout> ViewLayout(const ViewInfo& view) const;
+
+ private:
+  Catalog(io::Env* env, std::string file_name)
+      : env_(env), file_name_(std::move(file_name)) {}
+
+  Status Load();
+  Status Save() const;
+
+  io::Env* env_;
+  std::string file_name_;
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, ViewInfo> views_;
+};
+
+}  // namespace msv::query
+
+#endif  // MSV_QUERY_CATALOG_H_

@@ -1,0 +1,370 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "query/parser.h"
+#include "relation/sale_generator.h"
+#include "sampling/grouped_aggregator.h"
+#include "sampling/online_aggregator.h"
+#include "storage/heap_file.h"
+#include "util/random.h"
+
+namespace msv::query {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Executor>> Executor::Open(
+    io::Env* env, const std::string& catalog_file) {
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<Catalog> catalog,
+                       Catalog::Open(env, catalog_file));
+  return std::unique_ptr<Executor>(new Executor(env, std::move(catalog)));
+}
+
+Result<std::string> Executor::Run(const std::string& script) {
+  MSV_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parse(script));
+  std::string out;
+  for (const Statement& statement : statements) {
+    MSV_ASSIGN_OR_RETURN(std::string one, Execute(statement));
+    out += one;
+  }
+  return out;
+}
+
+Result<std::string> Executor::Execute(const Statement& statement) {
+  return std::visit(
+      [this](const auto& stmt) -> Result<std::string> {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, GenerateTableStmt>) {
+          return ExecGenerate(stmt);
+        } else if constexpr (std::is_same_v<T, CreateViewStmt>) {
+          return ExecCreateView(stmt);
+        } else if constexpr (std::is_same_v<T, SampleStmt>) {
+          return ExecSample(stmt);
+        } else if constexpr (std::is_same_v<T, EstimateStmt>) {
+          return ExecEstimate(stmt);
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return ExecInsert(stmt);
+        } else if constexpr (std::is_same_v<T, RebuildStmt>) {
+          return ExecRebuild(stmt);
+        } else if constexpr (std::is_same_v<T, DropViewStmt>) {
+          return ExecDropView(stmt);
+        } else {
+          return ExecShow(stmt);
+        }
+      },
+      statement);
+}
+
+Result<std::string> Executor::ExecGenerate(const GenerateTableStmt& stmt) {
+  relation::SaleGenOptions options;
+  options.num_records = stmt.rows;
+  options.seed = stmt.seed;
+  const std::string file = "tbl." + stmt.table;
+  MSV_RETURN_IF_ERROR(relation::GenerateSaleRelation(env_, file, options));
+  MSV_RETURN_IF_ERROR(
+      catalog_->AddTable(stmt.table, file, &TableSchema::Sale()));
+  return "generated table " + stmt.table + " with " +
+         std::to_string(stmt.rows) + " rows\n";
+}
+
+Result<std::string> Executor::ExecCreateView(const CreateViewStmt& stmt) {
+  const TableInfo* table = catalog_->FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + stmt.table);
+  }
+  if (catalog_->FindView(stmt.view) != nullptr) {
+    return Status::InvalidArgument("view already exists: " + stmt.view);
+  }
+  ViewInfo info{stmt.view, stmt.table, stmt.index_columns};
+  MSV_ASSIGN_OR_RETURN(storage::RecordLayout layout,
+                       catalog_->ViewLayout(info));
+
+  core::MaterializedSampleView::Options options;
+  options.build.key_dims = static_cast<uint32_t>(stmt.index_columns.size());
+  MSV_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::MaterializedSampleView> view,
+      core::MaterializedSampleView::Create(env_, "view." + stmt.view,
+                                           table->file, layout, options));
+  MSV_RETURN_IF_ERROR(catalog_->AddView(info));
+  std::string out = "created materialized sample view " + stmt.view +
+                    " over " + stmt.table + " (" +
+                    std::to_string(view->base_records()) + " rows, height " +
+                    std::to_string(view->tree().meta().height) + ")\n";
+  open_views_[stmt.view] = std::move(view);
+  return out;
+}
+
+Result<core::MaterializedSampleView*> Executor::GetView(
+    const std::string& name) {
+  auto it = open_views_.find(name);
+  if (it != open_views_.end()) return it->second.get();
+  const ViewInfo* info = catalog_->FindView(name);
+  if (info == nullptr) {
+    return Status::NotFound("no such view: " + name);
+  }
+  MSV_ASSIGN_OR_RETURN(storage::RecordLayout layout,
+                       catalog_->ViewLayout(*info));
+  core::MaterializedSampleView::Options options;
+  options.build.key_dims = static_cast<uint32_t>(info->index_columns.size());
+  MSV_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::MaterializedSampleView> view,
+      core::MaterializedSampleView::Open(env_, "view." + name, layout,
+                                         options));
+  core::MaterializedSampleView* raw = view.get();
+  open_views_[name] = std::move(view);
+  return raw;
+}
+
+Result<sampling::RangeQuery> Executor::BuildQuery(
+    const ViewInfo& view,
+    const std::vector<BetweenPredicate>& predicates) const {
+  sampling::RangeQuery query;
+  query.dims = view.index_columns.size();
+  for (const BetweenPredicate& pred : predicates) {
+    bool found = false;
+    for (size_t d = 0; d < view.index_columns.size(); ++d) {
+      if (view.index_columns[d] == pred.column) {
+        query.bounds[d] = sampling::Interval{pred.lo, pred.hi};
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotSupported(
+          "predicate on non-indexed column '" + pred.column +
+          "' (view indexes: sample from an indexed range, then filter)");
+    }
+  }
+  return query;
+}
+
+Result<std::string> Executor::ExecSample(const SampleStmt& stmt) {
+  MSV_ASSIGN_OR_RETURN(core::MaterializedSampleView* view,
+                       GetView(stmt.view));
+  const ViewInfo* info = catalog_->FindView(stmt.view);
+  MSV_ASSIGN_OR_RETURN(sampling::RangeQuery query,
+                       BuildQuery(*info, stmt.predicates));
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<core::ViewSampler> sampler,
+                       view->Sample(query, ++next_seed_));
+
+  const TableInfo* table = catalog_->FindTable(info->table);
+  const TableSchema& schema = *table->schema;
+
+  std::ostringstream out;
+  // Header row.
+  for (size_t c = 0; c < schema.columns.size(); ++c) {
+    out << (c ? " | " : "") << schema.columns[c].name;
+  }
+  out << "\n";
+  uint64_t emitted = 0;
+  while (!sampler->done() && emitted < stmt.limit) {
+    MSV_ASSIGN_OR_RETURN(sampling::SampleBatch batch, sampler->NextBatch());
+    for (size_t i = 0; i < batch.count() && emitted < stmt.limit; ++i) {
+      const char* rec = batch.record(i);
+      for (size_t c = 0; c < schema.columns.size(); ++c) {
+        const Column& column = schema.columns[c];
+        out << (c ? " | " : "");
+        if (column.type == ColumnType::kDouble) {
+          out << FormatDouble(schema.Value(rec, column));
+        } else {
+          out << static_cast<uint64_t>(schema.Value(rec, column));
+        }
+      }
+      out << "\n";
+      ++emitted;
+    }
+  }
+  out << "(" << emitted << " random sample" << (emitted == 1 ? "" : "s")
+      << ")\n";
+  return out.str();
+}
+
+Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
+  MSV_ASSIGN_OR_RETURN(core::MaterializedSampleView* view,
+                       GetView(stmt.view));
+  const ViewInfo* info = catalog_->FindView(stmt.view);
+  MSV_ASSIGN_OR_RETURN(sampling::RangeQuery query,
+                       BuildQuery(*info, stmt.predicates));
+
+  const TableInfo* table = catalog_->FindTable(info->table);
+  const TableSchema& schema = *table->schema;
+  const Column* column = nullptr;
+  if (stmt.agg != EstimateStmt::Agg::kCount) {
+    column = schema.Find(stmt.column);
+    if (column == nullptr) {
+      return Status::InvalidArgument("no such column: " + stmt.column);
+    }
+  }
+
+  // Population of the predicate from the tree's internal-node counts,
+  // plus the matching delta records.
+  MSV_ASSIGN_OR_RETURN(uint64_t base_population,
+                       view->tree().EstimateMatchCount(query));
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<core::ViewSampler> sampler,
+                       view->Sample(query, ++next_seed_));
+
+  if (!stmt.group_by.empty()) {
+    const Column* group_column = schema.Find(stmt.group_by);
+    if (group_column == nullptr) {
+      return Status::InvalidArgument("no such column: " + stmt.group_by);
+    }
+    if (group_column->type != ColumnType::kUint64) {
+      return Status::NotSupported("GROUP BY needs an integer column");
+    }
+    sampling::GroupedAggregator agg(
+        [&schema, group_column](const char* rec) {
+          return static_cast<uint64_t>(schema.Value(rec, *group_column));
+        },
+        [&schema, column](const char* rec) {
+          return column != nullptr ? schema.Value(rec, *column) : 1.0;
+        },
+        base_population, stmt.confidence);
+    while (!sampler->done() && agg.samples_seen() < stmt.samples) {
+      MSV_ASSIGN_OR_RETURN(sampling::SampleBatch batch, sampler->NextBatch());
+      agg.Consume(batch);
+    }
+    auto groups = agg.Groups();
+    std::ostringstream out;
+    const size_t shown = std::min<size_t>(groups.size(), 12);
+    for (size_t i = 0; i < shown; ++i) {
+      const auto& g = groups[i];
+      out << stmt.group_by << "=" << g.group << "  ";
+      switch (stmt.agg) {
+        case EstimateStmt::Agg::kAvg:
+          out << "AVG(" << stmt.column << ") = " << FormatDouble(g.avg.value)
+              << " +/- " << FormatDouble(g.avg.half_width);
+          break;
+        case EstimateStmt::Agg::kSum:
+          out << "SUM(" << stmt.column << ") = " << FormatDouble(g.sum.value)
+              << " +/- " << FormatDouble(g.sum.half_width);
+          break;
+        case EstimateStmt::Agg::kCount:
+          out << "COUNT(*) = " << FormatDouble(g.count.value) << " +/- "
+              << FormatDouble(g.count.half_width);
+          break;
+      }
+      out << "  (" << g.samples << " samples)\n";
+    }
+    if (groups.size() > shown) {
+      out << "... and " << groups.size() - shown << " more groups\n";
+    }
+    out << "(" << groups.size() << " groups, " << agg.samples_seen()
+        << " samples total)\n";
+    return out.str();
+  }
+
+  if (stmt.agg == EstimateStmt::Agg::kCount) {
+    std::ostringstream out;
+    out << "COUNT(*) ~ " << base_population
+        << " (from index counts; delta adds <= " << view->delta_records()
+        << ")\n";
+    return out.str();
+  }
+
+  sampling::OnlineAggregator agg(
+      [&schema, column](const char* rec) {
+        return schema.Value(rec, *column);
+      },
+      base_population, stmt.confidence);
+  while (!sampler->done() && agg.samples_seen() < stmt.samples) {
+    MSV_ASSIGN_OR_RETURN(sampling::SampleBatch batch, sampler->NextBatch());
+    agg.Consume(batch);
+  }
+
+  std::ostringstream out;
+  if (stmt.agg == EstimateStmt::Agg::kAvg) {
+    auto e = agg.Avg();
+    out << "AVG(" << stmt.column << ") = " << FormatDouble(e.value) << " +/- "
+        << FormatDouble(e.half_width) << " ("
+        << static_cast<int>(stmt.confidence * 100) << "% CI, " << e.samples
+        << " samples)\n";
+  } else {
+    auto e = agg.Sum();
+    out << "SUM(" << stmt.column << ") = " << FormatDouble(e.value) << " +/- "
+        << FormatDouble(e.half_width) << " ("
+        << static_cast<int>(stmt.confidence * 100) << "% CI, " << e.samples
+        << " samples)\n";
+  }
+  return out.str();
+}
+
+Result<std::string> Executor::ExecInsert(const InsertStmt& stmt) {
+  MSV_ASSIGN_OR_RETURN(core::MaterializedSampleView* view,
+                       GetView(stmt.view));
+  // Generate fresh SALE rows (row ids continue after the base).
+  Pcg64 rng(stmt.seed);
+  std::string batch;
+  char buf[storage::SaleRecord::kSize];
+  uint64_t next_row = view->base_records() + view->delta_records();
+  for (uint64_t i = 0; i < stmt.rows; ++i) {
+    storage::SaleRecord rec;
+    rec.day = rng.DoubleInRange(0, 100000.0);
+    rec.amount = rng.DoubleInRange(0, 10000.0);
+    rec.cust = rng.Below(1'000'000);
+    rec.part = rng.Below(200'000);
+    rec.supp = rng.Below(10'000);
+    rec.row_id = next_row + i;
+    rec.EncodeTo(buf);
+    batch.append(buf, sizeof(buf));
+  }
+  MSV_RETURN_IF_ERROR(view->Insert(batch.data(), stmt.rows));
+  std::ostringstream out;
+  out << "inserted " << stmt.rows << " rows into " << stmt.view
+      << " (delta now " << view->delta_records() << " rows"
+      << (view->NeedsRebuild() ? "; REBUILD recommended" : "") << ")\n";
+  return out.str();
+}
+
+Result<std::string> Executor::ExecRebuild(const RebuildStmt& stmt) {
+  MSV_ASSIGN_OR_RETURN(core::MaterializedSampleView* view,
+                       GetView(stmt.view));
+  MSV_RETURN_IF_ERROR(view->Rebuild());
+  return "rebuilt " + stmt.view + " (" +
+         std::to_string(view->base_records()) +
+         " rows in the base tree, empty delta)\n";
+}
+
+Result<std::string> Executor::ExecDropView(const DropViewStmt& stmt) {
+  if (catalog_->FindView(stmt.view) == nullptr) {
+    return Status::NotFound("no such view: " + stmt.view);
+  }
+  open_views_.erase(stmt.view);
+  MSV_RETURN_IF_ERROR(catalog_->DropView(stmt.view));
+  env_->DeleteFile("view." + stmt.view + ".base").ok();
+  env_->DeleteFile("view." + stmt.view + ".delta").ok();
+  return "dropped view " + stmt.view + "\n";
+}
+
+Result<std::string> Executor::ExecShow(const ShowStmt& stmt) {
+  std::ostringstream out;
+  if (stmt.views) {
+    for (const std::string& name : catalog_->ViewNames()) {
+      const ViewInfo* view = catalog_->FindView(name);
+      out << name << " ON " << view->table << " INDEX ON";
+      for (const std::string& column : view->index_columns) {
+        out << " " << column;
+      }
+      out << "\n";
+    }
+    if (catalog_->ViewNames().empty()) out << "(no views)\n";
+  } else {
+    for (const std::string& name : catalog_->TableNames()) {
+      out << name << "\n";
+    }
+    if (catalog_->TableNames().empty()) out << "(no tables)\n";
+  }
+  return out.str();
+}
+
+}  // namespace msv::query

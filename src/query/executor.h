@@ -1,0 +1,66 @@
+// Executor: runs parsed MSVQL statements against an Env-backed catalog of
+// tables and materialized sample views.
+
+#ifndef MSV_QUERY_EXECUTOR_H_
+#define MSV_QUERY_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/sample_view.h"
+#include "query/ast.h"
+#include "query/catalog.h"
+#include "util/result.h"
+
+namespace msv::query {
+
+class Executor {
+ public:
+  /// Opens (or initializes) a session over `env`; catalog state persists
+  /// in the env under `catalog_file`.
+  static Result<std::unique_ptr<Executor>> Open(
+      io::Env* env, const std::string& catalog_file = "msv.catalog");
+
+  /// Parses and executes a script; returns the concatenated output of all
+  /// statements, or the first error.
+  Result<std::string> Run(const std::string& script);
+
+  /// Executes one already-parsed statement.
+  Result<std::string> Execute(const Statement& statement);
+
+  Catalog& catalog() { return *catalog_; }
+
+ private:
+  Executor(io::Env* env, std::unique_ptr<Catalog> catalog)
+      : env_(env), catalog_(std::move(catalog)) {}
+
+  Result<std::string> ExecGenerate(const GenerateTableStmt& stmt);
+  Result<std::string> ExecCreateView(const CreateViewStmt& stmt);
+  Result<std::string> ExecSample(const SampleStmt& stmt);
+  Result<std::string> ExecEstimate(const EstimateStmt& stmt);
+  Result<std::string> ExecInsert(const InsertStmt& stmt);
+  Result<std::string> ExecRebuild(const RebuildStmt& stmt);
+  Result<std::string> ExecDropView(const DropViewStmt& stmt);
+  Result<std::string> ExecShow(const ShowStmt& stmt);
+
+  /// Opens (and caches) the view handle; fails for unknown views.
+  Result<core::MaterializedSampleView*> GetView(const std::string& name);
+
+  /// Translates WHERE predicates to a RangeQuery on the view's indexed
+  /// dimensions (unreferenced dimensions stay unbounded); predicates on
+  /// non-indexed columns are rejected.
+  Result<sampling::RangeQuery> BuildQuery(
+      const ViewInfo& view, const std::vector<BetweenPredicate>& predicates)
+      const;
+
+  io::Env* env_;
+  std::unique_ptr<Catalog> catalog_;
+  std::map<std::string, std::unique_ptr<core::MaterializedSampleView>>
+      open_views_;
+  uint64_t next_seed_ = 0x415ce7;  // advanced per sampling statement
+};
+
+}  // namespace msv::query
+
+#endif  // MSV_QUERY_EXECUTOR_H_

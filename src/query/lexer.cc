@@ -1,0 +1,92 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace msv::query {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "CREATE", "MATERIALIZED", "SAMPLE",   "VIEW",    "AS",      "SELECT",
+      "FROM",   "INDEX",        "ON",       "WHERE",   "BETWEEN", "AND",
+      "LIMIT",  "ESTIMATE",     "AVG",      "SUM",     "COUNT",   "SAMPLES",
+      "INSERT", "INTO",         "ROWS",     "SEED",    "REBUILD", "DROP",
+      "SHOW",   "VIEWS",        "GENERATE", "TABLE",   "TABLES",  "CONFIDENCE",
+      "GROUP",  "BY",
+  };
+  return kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;  // -- comment
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+               ((c == '-' || c == '+') && i + 1 < n &&
+                (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+                 input[i + 1] == '.'))) {
+      char* end = nullptr;
+      token.type = TokenType::kNumber;
+      token.number = std::strtod(input.c_str() + i, &end);
+      if (end == input.c_str() + i) {
+        return Status::InvalidArgument("bad number at offset " +
+                                       std::to_string(i));
+      }
+      token.text = input.substr(i, static_cast<size_t>(end - input.c_str()) - i);
+      i = static_cast<size_t>(end - input.c_str());
+    } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' ||
+               c == '=') {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.type = TokenType::kEnd;
+  end_token.position = n;
+  tokens.push_back(end_token);
+  return tokens;
+}
+
+}  // namespace msv::query

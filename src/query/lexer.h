@@ -1,0 +1,44 @@
+// Lexer for MSVQL, the little query language exposing the paper's
+// interface (CREATE MATERIALIZED SAMPLE VIEW ... INDEX ON ...; SAMPLE
+// FROM ... WHERE k BETWEEN a AND b; ESTIMATE AVG(x) ...).
+
+#ifndef MSV_QUERY_LEXER_H_
+#define MSV_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace msv::query {
+
+enum class TokenType {
+  kIdentifier,  // table / view / column names (case-preserved)
+  kKeyword,     // upper-cased reserved word
+  kNumber,      // double literal
+  kSymbol,      // one of ( ) , ; * =
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // keyword/identifier/symbol spelling
+  double number = 0.0;  // for kNumber
+  size_t position = 0;  // byte offset, for error messages
+
+  bool IsKeyword(const std::string& kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(char c) const {
+    return type == TokenType::kSymbol && text.size() == 1 && text[0] == c;
+  }
+};
+
+/// Tokenizes one or more statements. Keywords are recognized
+/// case-insensitively and normalized to upper case; anything else
+/// alphanumeric is an identifier.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace msv::query
+
+#endif  // MSV_QUERY_LEXER_H_

@@ -1,0 +1,22 @@
+// Recursive-descent parser for MSVQL statements.
+
+#ifndef MSV_QUERY_PARSER_H_
+#define MSV_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "util/result.h"
+
+namespace msv::query {
+
+/// Parses a script of `;`-separated statements.
+Result<std::vector<Statement>> Parse(const std::string& input);
+
+/// Parses exactly one statement (trailing `;` optional).
+Result<Statement> ParseOne(const std::string& input);
+
+}  // namespace msv::query
+
+#endif  // MSV_QUERY_PARSER_H_

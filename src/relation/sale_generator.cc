@@ -1,0 +1,69 @@
+#include "relation/sale_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/heap_file.h"
+#include "util/random.h"
+
+namespace msv::relation {
+
+Status GenerateSaleRelation(io::Env* env, const std::string& name,
+                            const SaleGenOptions& options) {
+  MSV_RETURN_IF_ERROR(options.Validate());
+  MSV_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::HeapFileWriter> writer,
+      storage::HeapFileWriter::Create(env, name, storage::SaleRecord::kSize));
+
+  Pcg64 rng(options.seed);
+  char buf[storage::SaleRecord::kSize];
+  // Cluster centers/widths for kClustered (deterministic given the seed).
+  std::vector<std::pair<double, double>> clusters;
+  if (options.day_distribution == DayDistribution::kClustered) {
+    Pcg64 crng(options.seed ^ 0xc105e72aULL);
+    double span = options.day_max - options.day_min;
+    for (uint32_t c = 0; c < options.clusters; ++c) {
+      clusters.emplace_back(options.day_min + crng.NextDouble() * span,
+                            span * 0.005 * (1.0 + crng.NextDouble()));
+    }
+  }
+  auto draw_day = [&]() {
+    switch (options.day_distribution) {
+      case DayDistribution::kUniform:
+        return rng.DoubleInRange(options.day_min, options.day_max);
+      case DayDistribution::kZipfian: {
+        // Inverse-CDF of a continuous power law on (0, 1]: u^(1/(1-theta))
+        // concentrates mass near day_min for theta in (0, 1).
+        double u = rng.NextDouble();
+        double x = std::pow(u, 1.0 / (1.0 - options.zipf_theta));
+        return options.day_min + x * (options.day_max - options.day_min);
+      }
+      case DayDistribution::kClustered: {
+        const auto& [center, width] =
+            clusters[rng.Below(clusters.size())];
+        // Triangular-ish bump around the center, clamped to the domain.
+        double offset = (rng.NextDouble() + rng.NextDouble() - 1.0) * width;
+        return std::clamp(center + offset, options.day_min,
+                          std::nextafter(options.day_max, options.day_min));
+      }
+    }
+    return options.day_min;
+  };
+  for (uint64_t i = 0; i < options.num_records; ++i) {
+    storage::SaleRecord rec;
+    rec.day = draw_day();
+    rec.amount = rng.DoubleInRange(options.amount_min, options.amount_max);
+    rec.cust = rng.Below(1'000'000);
+    rec.part = rng.Below(200'000);
+    rec.supp = rng.Below(10'000);
+    rec.row_id = i;
+    rec.EncodeTo(buf);
+    MSV_RETURN_IF_ERROR(writer->Append(buf));
+  }
+  return writer->Finish();
+}
+
+}  // namespace msv::relation

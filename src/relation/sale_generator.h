@@ -1,0 +1,62 @@
+// Synthetic SALE relation generator (the paper's evaluation data).
+//
+// Experiment 1 uses a 1-d workload over SALE.DAY; Experiment 2 draws
+// (DAY, AMOUNT) from a bivariate uniform distribution. Records are written
+// to a heap file in key-random order (generation order is unrelated to key
+// order, as in a real fact table).
+
+#ifndef MSV_RELATION_SALE_GENERATOR_H_
+#define MSV_RELATION_SALE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/env.h"
+#include "storage/record.h"
+#include "util/result.h"
+
+namespace msv::relation {
+
+/// Distribution of the DAY attribute (AMOUNT stays uniform, matching the
+/// paper's bivariate-uniform 2-d experiment).
+enum class DayDistribution {
+  kUniform,    ///< the paper's setting
+  kZipfian,    ///< heavy skew towards small days (rank-frequency ~ 1/rank)
+  kClustered,  ///< a few dense bursts (e.g. seasonal sales spikes)
+};
+
+struct SaleGenOptions {
+  uint64_t num_records = 0;
+  uint64_t seed = 42;
+
+  /// Key domains; both attributes are drawn from [min, max).
+  double day_min = 0.0;
+  double day_max = 100000.0;
+  double amount_min = 0.0;
+  double amount_max = 10000.0;
+
+  DayDistribution day_distribution = DayDistribution::kUniform;
+  /// kZipfian: skew exponent; kClustered: number of clusters.
+  double zipf_theta = 0.8;
+  uint32_t clusters = 8;
+
+  Status Validate() const {
+    if (num_records == 0) {
+      return Status::InvalidArgument("num_records must be positive");
+    }
+    if (day_max <= day_min || amount_max <= amount_min) {
+      return Status::InvalidArgument("empty key domain");
+    }
+    return Status::OK();
+  }
+};
+
+/// Generates `options.num_records` SALE records into heap file `name`.
+/// row_id is the generation index (0-based) and is unique — tests use it to
+/// identify records.
+Status GenerateSaleRelation(io::Env* env, const std::string& name,
+                            const SaleGenOptions& options);
+
+}  // namespace msv::relation
+
+#endif  // MSV_RELATION_SALE_GENERATOR_H_

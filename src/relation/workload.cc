@@ -1,0 +1,71 @@
+#include "relation/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace msv::relation {
+
+WorkloadGenerator::WorkloadGenerator(std::vector<Domain> domains,
+                                     uint64_t seed)
+    : domains_(std::move(domains)), rng_(seed) {
+  MSV_CHECK(!domains_.empty());
+}
+
+sampling::RangeQuery WorkloadGenerator::Query(double selectivity,
+                                              size_t dims) {
+  MSV_CHECK(selectivity > 0.0 && selectivity <= 1.0);
+  MSV_CHECK(dims >= 1 && dims <= domains_.size());
+  // Per-dimension window fraction: the d-th root of the volume fraction.
+  double side = std::pow(selectivity, 1.0 / static_cast<double>(dims));
+  sampling::RangeQuery q;
+  q.dims = dims;
+  for (size_t d = 0; d < dims; ++d) {
+    double span = domains_[d].hi - domains_[d].lo;
+    double width = side * span;
+    double start =
+        domains_[d].lo + rng_.NextDouble() * (span - width);
+    q.bounds[d] = sampling::Interval{start, start + width};
+  }
+  return q;
+}
+
+std::vector<sampling::RangeQuery> WorkloadGenerator::Queries(
+    double selectivity, size_t dims, size_t n) {
+  std::vector<sampling::RangeQuery> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Query(selectivity, dims));
+  return out;
+}
+
+Result<uint64_t> CountMatches(const storage::HeapFile& file,
+                              const storage::RecordLayout& layout,
+                              const sampling::RangeQuery& query) {
+  uint64_t count = 0;
+  auto scanner = file.NewScanner();
+  for (;;) {
+    MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
+    if (rec == nullptr) break;
+    if (query.Matches(layout, rec)) ++count;
+  }
+  return count;
+}
+
+Result<std::vector<uint64_t>> CollectMatchingRowIds(
+    const storage::HeapFile& file, const storage::RecordLayout& layout,
+    const sampling::RangeQuery& query) {
+  std::vector<uint64_t> ids;
+  auto scanner = file.NewScanner();
+  for (;;) {
+    MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
+    if (rec == nullptr) break;
+    if (query.Matches(layout, rec)) {
+      ids.push_back(storage::SaleRecord::DecodeFrom(rec).row_id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace msv::relation

@@ -1,0 +1,61 @@
+// Query workload generation at a target selectivity.
+//
+// The paper's experiments sample from "10 different range selection
+// predicates" at selectivities 0.25%, 2.5% and 25%. With uniformly
+// distributed keys a range covering fraction f of the key domain matches
+// (in expectation) fraction f of the records; the generator places such a
+// window uniformly at random inside the domain. For 2-d queries each side
+// covers sqrt(f) of its dimension so the rectangle's area fraction is f.
+
+#ifndef MSV_RELATION_WORKLOAD_H_
+#define MSV_RELATION_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/range_query.h"
+#include "storage/heap_file.h"
+#include "storage/record.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace msv::relation {
+
+struct Domain {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Generates range queries of a given selectivity over uniform key domains.
+class WorkloadGenerator {
+ public:
+  /// One Domain per key dimension.
+  WorkloadGenerator(std::vector<Domain> domains, uint64_t seed);
+
+  /// A query whose window covers fraction `selectivity` of the domain
+  /// volume, placed uniformly at random, using the first `dims` dimensions.
+  sampling::RangeQuery Query(double selectivity, size_t dims);
+
+  /// A batch of `n` such queries (the paper averages over 10).
+  std::vector<sampling::RangeQuery> Queries(double selectivity, size_t dims,
+                                            size_t n);
+
+ private:
+  std::vector<Domain> domains_;
+  Pcg64 rng_;
+};
+
+/// Exact number of records in `file` matching `query` (full scan; used to
+/// verify samplers and to report true selectivities).
+Result<uint64_t> CountMatches(const storage::HeapFile& file,
+                              const storage::RecordLayout& layout,
+                              const sampling::RangeQuery& query);
+
+/// Row-ids of all matching records, sorted (test oracle).
+Result<std::vector<uint64_t>> CollectMatchingRowIds(
+    const storage::HeapFile& file, const storage::RecordLayout& layout,
+    const sampling::RangeQuery& query);
+
+}  // namespace msv::relation
+
+#endif  // MSV_RELATION_WORKLOAD_H_

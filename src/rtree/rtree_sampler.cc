@@ -1,0 +1,60 @@
+#include "rtree/rtree_sampler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace msv::rtree {
+
+RTreeSampler::RTreeSampler(const RTree* tree, sampling::RangeQuery query,
+                           uint64_t seed, size_t candidates_per_pull)
+    : tree_(tree),
+      query_(query),
+      rng_(seed),
+      candidates_per_pull_(candidates_per_pull) {
+  MSV_CHECK(candidates_per_pull_ > 0);
+}
+
+Status RTreeSampler::Initialize() {
+  MSV_ASSIGN_OR_RETURN(runs_, tree_->CollectCandidates(query_));
+  cumulative_.resize(runs_.size());
+  uint64_t cum = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    cumulative_[i] = cum;
+    cum += runs_[i].count;
+  }
+  total_candidates_ = cum;
+  shuffle_.emplace(total_candidates_);
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<sampling::SampleBatch> RTreeSampler::NextBatch() {
+  sampling::SampleBatch batch;
+  batch.record_size = tree_->meta().record_size;
+  if (!initialized_) {
+    MSV_RETURN_IF_ERROR(Initialize());
+    return batch;  // candidate collection was this pull's I/O
+  }
+  if (shuffle_->done()) return batch;
+
+  std::vector<char> rec(tree_->meta().record_size);
+  const storage::RecordLayout& layout = tree_->layout();
+  for (size_t i = 0; i < candidates_per_pull_ && !shuffle_->done(); ++i) {
+    uint64_t candidate = shuffle_->Next(&rng_);
+    // Locate the run holding this candidate ordinal.
+    size_t run = static_cast<size_t>(
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), candidate) -
+        cumulative_.begin() - 1);
+    uint32_t index = static_cast<uint32_t>(candidate - cumulative_[run]);
+    MSV_RETURN_IF_ERROR(
+        tree_->ReadRecordAt(runs_[run].page, index, rec.data()));
+    if (query_.Matches(layout, rec.data())) {
+      batch.Append(rec.data());
+      ++returned_;
+    }
+  }
+  return batch;
+}
+
+}  // namespace msv::rtree

@@ -1,0 +1,56 @@
+// Random sampling from a ranked R-tree (the paper's "obvious extension" of
+// Antoshenkov's ranked B+-tree algorithm to spatial data, Sec. 8).
+//
+// The query's candidate set is the union of records on leaf pages whose
+// MBR intersects the query (collected with one internal traversal).
+// Candidates are visited in a uniformly random order without replacement
+// (incremental Fisher-Yates over the candidate count); each visited
+// candidate costs one page access unless buffered and is emitted iff it
+// actually satisfies the predicate. Every prefix of the emitted stream is
+// therefore a uniform without-replacement sample of the match set.
+
+#ifndef MSV_RTREE_RTREE_SAMPLER_H_
+#define MSV_RTREE_RTREE_SAMPLER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtree/rtree.h"
+#include "sampling/sample_stream.h"
+#include "util/random.h"
+
+namespace msv::rtree {
+
+class RTreeSampler : public sampling::SampleStream {
+ public:
+  RTreeSampler(const RTree* tree, sampling::RangeQuery query, uint64_t seed,
+               size_t candidates_per_pull = 16);
+
+  Result<sampling::SampleBatch> NextBatch() override;
+  bool done() const override { return initialized_ && shuffle_->done(); }
+  uint64_t samples_returned() const override { return returned_; }
+  std::string name() const override { return "rtree"; }
+
+  /// Candidate-set size (valid after the first pull).
+  uint64_t candidate_count() const { return total_candidates_; }
+
+ private:
+  Status Initialize();
+
+  const RTree* tree_;
+  sampling::RangeQuery query_;
+  Pcg64 rng_;
+  size_t candidates_per_pull_;
+
+  bool initialized_ = false;
+  std::vector<CandidateRun> runs_;
+  std::vector<uint64_t> cumulative_;  // exclusive prefix sums of run counts
+  uint64_t total_candidates_ = 0;
+  std::optional<LazyShuffle> shuffle_;
+  uint64_t returned_ = 0;
+};
+
+}  // namespace msv::rtree
+
+#endif  // MSV_RTREE_RTREE_SAMPLER_H_

@@ -1,0 +1,45 @@
+#include "sampling/online_aggregator.h"
+
+namespace msv::sampling {
+
+OnlineAggregator::OnlineAggregator(
+    std::function<double(const char*)> expression, uint64_t population,
+    double confidence)
+    : expression_(std::move(expression)),
+      population_(population),
+      z_(NormalCriticalValue(confidence)) {}
+
+void OnlineAggregator::Consume(const SampleBatch& batch) {
+  for (size_t i = 0; i < batch.count(); ++i) {
+    stats_.Add(expression_(batch.record(i)));
+  }
+}
+
+Estimate OnlineAggregator::Avg() const {
+  Estimate e;
+  e.samples = stats_.count();
+  e.value = stats_.mean();
+  if (stats_.count() > 1) {
+    double se = stats_.stderr_mean();
+    // Finite-population correction: we sample without replacement.
+    if (population_ > 1 && stats_.count() <= population_) {
+      double fpc = std::sqrt(
+          static_cast<double>(population_ - stats_.count()) /
+          static_cast<double>(population_ - 1));
+      se *= fpc;
+    }
+    e.half_width = z_ * se;
+  }
+  return e;
+}
+
+Estimate OnlineAggregator::Sum() const {
+  Estimate avg = Avg();
+  Estimate e;
+  e.samples = avg.samples;
+  e.value = avg.value * static_cast<double>(population_);
+  e.half_width = avg.half_width * static_cast<double>(population_);
+  return e;
+}
+
+}  // namespace msv::sampling

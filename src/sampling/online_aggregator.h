@@ -1,0 +1,61 @@
+// Online aggregation over a SampleStream (Hellerstein, Haas & Wang style).
+//
+// Consumes an online random sample and maintains running estimates of
+// SUM / AVG / COUNT of an expression over all records matching the query,
+// together with CLT-based confidence intervals. This is the paper's primary
+// motivating application (Sec. 1): with an online sample, the interval
+// shrinks continuously and is valid at every instant.
+
+#ifndef MSV_SAMPLING_ONLINE_AGGREGATOR_H_
+#define MSV_SAMPLING_ONLINE_AGGREGATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sampling/sample_stream.h"
+#include "util/result.h"
+#include "util/stats.h"
+
+namespace msv::sampling {
+
+/// A point estimate with a symmetric confidence half-width.
+struct Estimate {
+  double value = 0.0;
+  double half_width = 0.0;  ///< +/- at the configured confidence level
+  uint64_t samples = 0;
+
+  double lo() const { return value - half_width; }
+  double hi() const { return value + half_width; }
+};
+
+/// Streaming AVG/SUM estimator over matching records.
+class OnlineAggregator {
+ public:
+  /// `expression` maps a record to the aggregated value (e.g. AMOUNT).
+  /// `population` is the number of records matching the query (the ACE
+  /// tree's internal-node counts provide it, per Sec. 3.2 of the paper);
+  /// required for SUM and COUNT-style scale-up, not for AVG.
+  OnlineAggregator(std::function<double(const char*)> expression,
+                   uint64_t population, double confidence = 0.95);
+
+  /// Folds every record of a batch into the estimate.
+  void Consume(const SampleBatch& batch);
+
+  /// Current AVG estimate with CLT confidence interval.
+  Estimate Avg() const;
+
+  /// Current SUM estimate (population * running mean), scaled interval.
+  Estimate Sum() const;
+
+  uint64_t samples_seen() const { return stats_.count(); }
+
+ private:
+  std::function<double(const char*)> expression_;
+  uint64_t population_;
+  double z_;
+  RunningStats stats_;
+};
+
+}  // namespace msv::sampling
+
+#endif  // MSV_SAMPLING_ONLINE_AGGREGATOR_H_

@@ -1,0 +1,20 @@
+#include "sampling/range_query.h"
+
+#include <cstdio>
+
+namespace msv::sampling {
+
+std::string RangeQuery::ToString() const {
+  std::string out = "{";
+  char buf[64];
+  for (size_t d = 0; d < dims; ++d) {
+    if (d > 0) out += " AND ";
+    std::snprintf(buf, sizeof(buf), "k%zu in [%.6g, %.6g]", d, bounds[d].lo,
+                  bounds[d].hi);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace msv::sampling

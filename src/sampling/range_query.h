@@ -1,0 +1,81 @@
+// Range predicates over indexed key attributes.
+//
+// All samplers in the library answer queries of the SQL form
+//   SELECT * FROM R WHERE k1 BETWEEN lo1 AND hi1 [AND k2 BETWEEN ...]
+// i.e. closed intervals per key dimension (the paper's Sec. 2.2 example).
+
+#ifndef MSV_SAMPLING_RANGE_QUERY_H_
+#define MSV_SAMPLING_RANGE_QUERY_H_
+
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "storage/record.h"
+#include "util/status.h"
+
+namespace msv::sampling {
+
+/// A closed interval [lo, hi] on one key attribute.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+  bool Overlaps(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+  /// True when this interval fully contains `o`.
+  bool Covers(const Interval& o) const { return lo <= o.lo && o.hi <= hi; }
+  bool Empty() const { return lo > hi; }
+  double Width() const { return hi - lo; }
+};
+
+/// A conjunctive range predicate over `dims` key dimensions.
+struct RangeQuery {
+  size_t dims = 1;
+  std::array<Interval, storage::kMaxKeyDims> bounds;
+
+  static RangeQuery OneDim(double lo, double hi) {
+    RangeQuery q;
+    q.dims = 1;
+    q.bounds[0] = Interval{lo, hi};
+    return q;
+  }
+
+  static RangeQuery TwoDim(double lo0, double hi0, double lo1, double hi1) {
+    RangeQuery q;
+    q.dims = 2;
+    q.bounds[0] = Interval{lo0, hi0};
+    q.bounds[1] = Interval{lo1, hi1};
+    return q;
+  }
+
+  /// True when record `rec` (interpreted through `layout`) satisfies every
+  /// per-dimension bound. Dimensions beyond layout.key_dims() are invalid.
+  bool Matches(const storage::RecordLayout& layout, const char* rec) const {
+    for (size_t d = 0; d < dims; ++d) {
+      if (!bounds[d].Contains(layout.Key(rec, d))) return false;
+    }
+    return true;
+  }
+
+  Status Validate(const storage::RecordLayout& layout) const {
+    if (dims == 0 || dims > layout.key_dims()) {
+      return Status::InvalidArgument(
+          "query dimensionality incompatible with record layout");
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      if (bounds[d].Empty()) {
+        return Status::InvalidArgument("empty interval in dimension " +
+                                       std::to_string(d));
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace msv::sampling
+
+#endif  // MSV_SAMPLING_RANGE_QUERY_H_

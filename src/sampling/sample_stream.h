@@ -1,0 +1,56 @@
+// The online-sampling interface every sampler implements.
+//
+// A SampleStream produces records satisfying a fixed RangeQuery such that,
+// at every point in time, the multiset of records returned so far is a
+// uniform random sample (without replacement) of all matching records.
+// Consumers (online aggregation, clustering, the benchmark harness) pull
+// batches; each pull may perform I/O on the underlying device.
+
+#ifndef MSV_SAMPLING_SAMPLE_STREAM_H_
+#define MSV_SAMPLING_SAMPLE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sampling/range_query.h"
+#include "util/result.h"
+
+namespace msv::sampling {
+
+/// A batch of fixed-size records, densely packed.
+struct SampleBatch {
+  size_t record_size = 0;
+  std::string data;
+
+  size_t count() const { return record_size ? data.size() / record_size : 0; }
+  const char* record(size_t i) const { return data.data() + i * record_size; }
+  void Append(const char* rec) { data.append(rec, record_size); }
+  bool empty() const { return data.empty(); }
+};
+
+/// Pull-based online sampler. Implementations are single-use: one stream
+/// answers one query.
+class SampleStream {
+ public:
+  virtual ~SampleStream() = default;
+
+  /// Produces the next batch of new samples. An empty batch does NOT mean
+  /// the stream is finished (a pull may only perform I/O that feeds later
+  /// batches); call done() to detect completion. After done() returns true
+  /// every matching record has been returned exactly once.
+  virtual Result<SampleBatch> NextBatch() = 0;
+
+  /// True once all records matching the query have been delivered.
+  virtual bool done() const = 0;
+
+  /// Total samples delivered so far.
+  virtual uint64_t samples_returned() const = 0;
+
+  /// Sampler name for reports ("ace", "btree", "permuted", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace msv::sampling
+
+#endif  // MSV_SAMPLING_SAMPLE_STREAM_H_

@@ -1,0 +1,23 @@
+#include "storage/record.h"
+
+namespace msv::storage {
+
+Status RecordLayout::Validate() const {
+  if (record_size == 0) {
+    return Status::InvalidArgument("record_size must be positive");
+  }
+  if (key_offsets.empty()) {
+    return Status::InvalidArgument("at least one key dimension required");
+  }
+  if (key_offsets.size() > kMaxKeyDims) {
+    return Status::InvalidArgument("too many key dimensions");
+  }
+  for (size_t off : key_offsets) {
+    if (off + sizeof(double) > record_size) {
+      return Status::InvalidArgument("key offset exceeds record size");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace msv::storage

@@ -1,0 +1,109 @@
+// Fixed-size record layout.
+//
+// The paper's synthetic SALE relation uses 100-byte records; the library
+// works with any fixed record size via RecordLayout, which also names where
+// the (up to kMaxKeyDims) double-valued key attributes live inside the
+// record. Key dimension 0 is the primary range attribute (SALE.DAY);
+// dimension 1 is SALE.AMOUNT for the two-dimensional experiments.
+
+#ifndef MSV_STORAGE_RECORD_H_
+#define MSV_STORAGE_RECORD_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/coding.h"
+#include "util/status.h"
+
+namespace msv::storage {
+
+/// Maximum number of indexed key dimensions supported by the k-d ACE Tree
+/// and the R-Tree.
+inline constexpr size_t kMaxKeyDims = 4;
+
+/// Describes a fixed-size record type: total byte size and the offsets of
+/// its double-encoded key attributes.
+struct RecordLayout {
+  size_t record_size = 0;
+  std::vector<size_t> key_offsets;  // one per key dimension
+
+  size_t key_dims() const { return key_offsets.size(); }
+
+  /// Key value of dimension `dim` for record bytes `rec`.
+  double Key(const char* rec, size_t dim) const {
+    return DecodeDouble(rec + key_offsets[dim]);
+  }
+
+  /// Writes key value of dimension `dim` into record bytes `rec`.
+  void SetKey(char* rec, size_t dim, double value) const {
+    EncodeDouble(rec + key_offsets[dim], value);
+  }
+
+  Status Validate() const;
+};
+
+/// The paper's SALE relation: SALE(DAY, AMOUNT, CUST, PART, SUPP) padded to
+/// exactly 100 bytes, with DAY and AMOUNT stored as doubles so they can
+/// serve as index keys.
+struct SaleRecord {
+  static constexpr size_t kSize = 100;
+  static constexpr size_t kDayOffset = 0;
+  static constexpr size_t kAmountOffset = 8;
+  static constexpr size_t kCustOffset = 16;
+  static constexpr size_t kPartOffset = 24;
+  static constexpr size_t kSuppOffset = 32;
+  static constexpr size_t kRowIdOffset = 40;
+  // bytes [48, 100) are opaque payload
+
+  double day = 0.0;
+  double amount = 0.0;
+  uint64_t cust = 0;
+  uint64_t part = 0;
+  uint64_t supp = 0;
+  uint64_t row_id = 0;  ///< unique id assigned at generation; test oracle
+
+  /// Layout with DAY as the single indexed attribute.
+  static RecordLayout Layout1D() {
+    return RecordLayout{kSize, {kDayOffset}};
+  }
+  /// Layout indexing (DAY, AMOUNT).
+  static RecordLayout Layout2D() {
+    return RecordLayout{kSize, {kDayOffset, kAmountOffset}};
+  }
+
+  void EncodeTo(char* dst) const {
+    EncodeDouble(dst + kDayOffset, day);
+    EncodeDouble(dst + kAmountOffset, amount);
+    EncodeFixed64(dst + kCustOffset, cust);
+    EncodeFixed64(dst + kPartOffset, part);
+    EncodeFixed64(dst + kSuppOffset, supp);
+    EncodeFixed64(dst + kRowIdOffset, row_id);
+    // Deterministic payload derived from row_id so corruption is
+    // detectable in tests.
+    for (size_t i = 48; i < kSize; ++i) {
+      dst[i] = static_cast<char>((row_id + i) & 0xff);
+    }
+  }
+
+  static SaleRecord DecodeFrom(const char* src) {
+    SaleRecord r;
+    r.day = DecodeDouble(src + kDayOffset);
+    r.amount = DecodeDouble(src + kAmountOffset);
+    r.cust = DecodeFixed64(src + kCustOffset);
+    r.part = DecodeFixed64(src + kPartOffset);
+    r.supp = DecodeFixed64(src + kSuppOffset);
+    r.row_id = DecodeFixed64(src + kRowIdOffset);
+    return r;
+  }
+};
+
+/// An owning, variable-layout record buffer (convenience for APIs that
+/// return records by value).
+using RecordBuffer = std::string;
+
+}  // namespace msv::storage
+
+#endif  // MSV_STORAGE_RECORD_H_

@@ -1,0 +1,44 @@
+// Little-endian fixed-width encoding helpers for on-disk formats.
+//
+// All MSV file formats are explicitly little-endian regardless of host
+// byte order, so files are portable across machines.
+
+#ifndef MSV_UTIL_CODING_H_
+#define MSV_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace msv {
+
+inline void EncodeFixed32(char* dst, uint32_t v) {
+  std::memcpy(dst, &v, sizeof(v));  // little-endian hosts only; asserted below
+}
+
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
+
+inline void EncodeDouble(char* dst, double v) { std::memcpy(dst, &v, sizeof(v)); }
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+inline double DecodeDouble(const char* src) {
+  double v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+static_assert(sizeof(double) == 8, "IEEE-754 binary64 required");
+
+}  // namespace msv
+
+#endif  // MSV_UTIL_CODING_H_

@@ -1,0 +1,37 @@
+#include "util/crc32c.h"
+
+namespace msv {
+namespace {
+
+// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected 0x82F63B78).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const char* data, size_t n, uint32_t init) {
+  const Crc32cTable& table = Table();
+  uint32_t crc = ~init;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ static_cast<unsigned char>(data[i])) & 0xffu] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace msv

@@ -1,0 +1,31 @@
+// CRC-32C (Castagnoli) checksums for on-disk integrity.
+//
+// Software implementation (slice-by-one table); fast enough for the
+// header/leaf sizes we protect and dependency-free.
+
+#ifndef MSV_UTIL_CRC32C_H_
+#define MSV_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msv {
+
+/// CRC-32C of `data[0, n)`, seeded with `init` (pass a previous Crc32c
+/// result to extend a running checksum).
+uint32_t Crc32c(const char* data, size_t n, uint32_t init = 0);
+
+/// Masked CRC, RocksDB/LevelDB style: storing the CRC of data that itself
+/// contains CRCs is error-prone, so stored checksums are rotated+offset.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace msv
+
+#endif  // MSV_UTIL_CRC32C_H_

@@ -1,0 +1,87 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace msv {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  assert(hi > lo);
+  assert(buckets > 0);
+}
+
+void Histogram::Add(double value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (value < lo_) {
+    ++underflow_;
+  } else if (value >= hi_) {
+    ++overflow_;
+  } else {
+    size_t i = static_cast<size_t>((value - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // fp edge
+    ++counts_[i];
+  }
+}
+
+void Histogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+double Histogram::Quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + width_ * (static_cast<double>(i) + frac);
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "count=%llu mean=%.4g min=%.4g max=%.4g\n",
+                static_cast<unsigned long long>(count_), mean(),
+                count_ ? min_ : 0.0, count_ ? max_ : 0.0);
+  out += line;
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    int bar = static_cast<int>(50.0 * static_cast<double>(counts_[i]) /
+                               static_cast<double>(peak));
+    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %8llu %s\n",
+                  lo_ + width_ * static_cast<double>(i),
+                  lo_ + width_ * static_cast<double>(i + 1),
+                  static_cast<unsigned long long>(counts_[i]),
+                  std::string(static_cast<size_t>(bar), '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace msv

@@ -1,0 +1,56 @@
+// Fixed-bucket and log-scale histograms used by I/O statistics and the
+// benchmark harness.
+
+#ifndef MSV_UTIL_HISTOGRAM_H_
+#define MSV_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msv {
+
+/// Histogram over a fixed numeric range with equal-width buckets, plus
+/// underflow/overflow buckets. Thread-compatible (no internal locking).
+class Histogram {
+ public:
+  /// Buckets span [lo, hi) divided into `buckets` equal cells.
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double value);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min_seen() const { return min_; }
+  double max_seen() const { return max_; }
+
+  /// Count in bucket i (excluding under/overflow).
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+  /// Approximate quantile (linear interpolation inside the bucket).
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering for logs.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace msv
+
+#endif  // MSV_UTIL_HISTOGRAM_H_

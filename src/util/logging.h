@@ -1,0 +1,73 @@
+// Minimal leveled logging and assertion macros.
+//
+// MSV_CHECK aborts on violated invariants in all build types (used for
+// corruption-class conditions); MSV_DCHECK compiles out of release builds.
+
+#ifndef MSV_UTIL_LOGGING_H_
+#define MSV_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace msv {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& message);
+
+}  // namespace internal
+}  // namespace msv
+
+#define MSV_LOG(level)                                                \
+  ::msv::internal::LogMessage(::msv::LogLevel::k##level, __FILE__,    \
+                              __LINE__)
+
+#define MSV_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::msv::internal::CheckFailed(#cond, __FILE__, __LINE__, "");        \
+    }                                                                     \
+  } while (0)
+
+#define MSV_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::msv::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define MSV_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define MSV_DCHECK(cond) MSV_CHECK(cond)
+#endif
+
+#endif  // MSV_UTIL_LOGGING_H_

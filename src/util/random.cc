@@ -1,0 +1,29 @@
+#include "util/random.h"
+
+#include <unordered_set>
+
+namespace msv {
+
+std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
+                                               Pcg64* rng) {
+  assert(k <= n);
+  // Robert Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert
+  // t unless already present, else insert j. Each k-subset is equally
+  // likely.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = rng->Below(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace msv

@@ -1,0 +1,159 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every randomized component (data generation, ACE tree construction,
+// samplers, tests, benchmarks) draws from Pcg64, a small permuted
+// congruential generator. All experiments are reproducible given a seed.
+
+#ifndef MSV_UTIL_RANDOM_H_
+#define MSV_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace msv {
+
+/// PCG-XSL-RR 128/64: high-quality 64-bit generator with 128-bit state.
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+/// with <random> distributions, but the helpers below are preferred since
+/// they are deterministic across standard library implementations.
+class Pcg64 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Pcg64(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (static_cast<unsigned __int128>(stream) << 1u) | 1u;
+    Next();
+    state_ += (static_cast<unsigned __int128>(seed) << 64u) | seed;
+    Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return Next(); }
+
+  /// Next raw 64-bit output.
+  uint64_t Next() {
+    state_ = state_ * kMultiplier + inc_;
+    uint64_t xored =
+        static_cast<uint64_t>(state_ >> 64u) ^ static_cast<uint64_t>(state_);
+    unsigned rot = static_cast<unsigned>(state_ >> 122u);
+    return (xored >> rot) | (xored << ((-rot) & 63u));
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method: unbiased and branch-cheap. bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(Next()) * bound;
+    uint64_t low = static_cast<uint64_t>(product);
+    if (low < bound) {
+      uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+      while (low < threshold) {
+        product = static_cast<unsigned __int128>(Next()) * bound;
+        low = static_cast<uint64_t>(product);
+      }
+    }
+    return static_cast<uint64_t>(product >> 64u);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  uint64_t InRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11u) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double DoubleInRange(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Forks an independent generator; the child stream is derived from this
+  /// generator's output so seeding one master seed yields a reproducible
+  /// tree of generators.
+  Pcg64 Fork() {
+    uint64_t seed = Next();
+    uint64_t stream = Next();
+    return Pcg64(seed, stream);
+  }
+
+ private:
+  static constexpr unsigned __int128 kMultiplier =
+      (static_cast<unsigned __int128>(2549297995355413924ULL) << 64u) |
+      4865540595714422341ULL;
+
+  unsigned __int128 state_;
+  unsigned __int128 inc_;
+};
+
+/// Fisher-Yates shuffle of an entire vector.
+template <typename T>
+void Shuffle(std::vector<T>* v, Pcg64* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng->Below(i));
+    using std::swap;
+    swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+/// Returns a uniformly random k-subset of [0, n) in arbitrary order
+/// (Floyd's algorithm; O(k) expected time and memory).
+std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
+                                               Pcg64* rng);
+
+/// Incremental Fisher-Yates over [0, n): Next() returns the elements of a
+/// uniformly random permutation one at a time, using memory proportional to
+/// the number of elements drawn so far. This realizes "generate a random
+/// rank, discard duplicates" (Algorithm 1 of the paper) without the
+/// coupon-collector slowdown near exhaustion — the sequence of draws has
+/// exactly the same distribution.
+class LazyShuffle {
+ public:
+  explicit LazyShuffle(uint64_t n) : n_(n) {}
+
+  bool done() const { return next_ == n_; }
+  uint64_t remaining() const { return n_ - next_; }
+
+  /// Next element of the permutation; must not be called when done().
+  uint64_t Next(Pcg64* rng) {
+    assert(!done());
+    uint64_t i = next_++;
+    uint64_t j = i + rng->Below(n_ - i);
+    uint64_t vi = ValueAt(i);
+    uint64_t vj = ValueAt(j);
+    if (i != j) {
+      swaps_[j] = vi;  // position j now holds what was at i
+    }
+    swaps_.erase(i);  // position i is consumed; free its entry
+    return vj;
+  }
+
+ private:
+  uint64_t ValueAt(uint64_t pos) const {
+    auto it = swaps_.find(pos);
+    return it == swaps_.end() ? pos : it->second;
+  }
+
+  uint64_t n_;
+  uint64_t next_ = 0;
+  std::unordered_map<uint64_t, uint64_t> swaps_;
+};
+
+}  // namespace msv
+
+#endif  // MSV_UTIL_RANDOM_H_

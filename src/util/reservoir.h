@@ -1,0 +1,51 @@
+// Reservoir sampling (Vitter's Algorithm R): maintain a uniform k-subset
+// of a stream of unknown length in O(k) memory. Used by the k-d ACE tree
+// builder for split-point estimation and available as a general utility.
+
+#ifndef MSV_UTIL_RESERVOIR_H_
+#define MSV_UTIL_RESERVOIR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace msv {
+
+template <typename T>
+class ReservoirSampler {
+ public:
+  /// Holds at most `capacity` items.
+  explicit ReservoirSampler(size_t capacity) : capacity_(capacity) {
+    sample_.reserve(capacity);
+  }
+
+  /// Offers one stream element; each element seen so far has probability
+  /// capacity/seen of being in the reservoir afterwards.
+  void Offer(T value, Pcg64* rng) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(std::move(value));
+      return;
+    }
+    uint64_t j = rng->Below(seen_);
+    if (j < capacity_) {
+      sample_[static_cast<size_t>(j)] = std::move(value);
+    }
+  }
+
+  uint64_t seen() const { return seen_; }
+  const std::vector<T>& sample() const { return sample_; }
+  std::vector<T>&& TakeSample() && { return std::move(sample_); }
+  bool IsExhaustive() const { return seen_ <= capacity_; }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace msv
+
+#endif  // MSV_UTIL_RESERVOIR_H_

@@ -1,0 +1,83 @@
+// Result<T>: a value-or-Status holder, analogous to arrow::Result /
+// absl::StatusOr. Used by factory functions and read paths that produce a
+// value on success.
+
+#ifndef MSV_UTIL_RESULT_H_
+#define MSV_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace msv {
+
+/// Holds either a T or a non-OK Status.
+///
+/// A Result is never in an "OK but empty" state: constructing from an OK
+/// status is a programming error (asserted in debug builds, converted to an
+/// Internal error otherwise).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Success: wraps a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure: wraps a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from an OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; must only be called when ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+}  // namespace msv
+
+/// Assigns the value of a Result-producing expression to `lhs`, or returns
+/// its status. `lhs` may be a declaration ("auto x") or an existing lvalue.
+#define MSV_ASSIGN_OR_RETURN(lhs, expr)                        \
+  MSV_ASSIGN_OR_RETURN_IMPL_(                                  \
+      MSV_RESULT_CONCAT_(_msv_result_, __LINE__), lhs, expr)
+
+#define MSV_RESULT_CONCAT_INNER_(a, b) a##b
+#define MSV_RESULT_CONCAT_(a, b) MSV_RESULT_CONCAT_INNER_(a, b)
+
+#define MSV_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#endif  // MSV_UTIL_RESULT_H_

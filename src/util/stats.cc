@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <cassert>
+
+namespace msv {
+namespace {
+
+// Acklam's rational approximation to the inverse standard normal CDF.
+double InverseNormalCdf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+}  // namespace
+
+double NormalCriticalValue(double confidence) {
+  assert(confidence > 0.0 && confidence < 1.0);
+  return InverseNormalCdf(0.5 + confidence / 2.0);
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double ChiSquarePValue(double statistic, uint64_t dof) {
+  if (dof == 0) return 1.0;
+  if (statistic <= 0.0) return 1.0;
+  // Wilson-Hilferty: (X/k)^(1/3) ~ Normal(1 - 2/(9k), 2/(9k)).
+  double k = static_cast<double>(dof);
+  double t = std::cbrt(statistic / k);
+  double mu = 1.0 - 2.0 / (9.0 * k);
+  double sigma = std::sqrt(2.0 / (9.0 * k));
+  double z = (t - mu) / sigma;
+  return 1.0 - NormalCdf(z);
+}
+
+double ChiSquareStatistic(const std::vector<uint64_t>& observed,
+                          const std::vector<double>& expected) {
+  assert(!observed.empty());
+  assert(observed.size() == expected.size());
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    assert(expected[i] > 0.0);
+    double diff = static_cast<double>(observed[i]) - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+}  // namespace msv

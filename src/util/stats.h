@@ -1,0 +1,90 @@
+// Streaming statistics utilities: running mean/variance (Welford),
+// min/max/avg accumulators, and significance helpers used by the
+// statistical test suite and the online-aggregation estimator.
+
+#ifndef MSV_UTIL_STATS_H_
+#define MSV_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace msv {
+
+/// Numerically stable running mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  double stderr_mean() const {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    uint64_t n = n_ + other.n_;
+    double delta = other.mean_ - mean_;
+    double mean = mean_ + delta * static_cast<double>(other.n_) /
+                              static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(n);
+    mean_ = mean;
+    n_ = n;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Two-sided normal critical value for the given confidence level, e.g.
+/// 0.95 -> 1.959964. Uses the Acklam inverse-normal approximation
+/// (relative error < 1.15e-9), adequate for confidence-interval display.
+double NormalCriticalValue(double confidence);
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+/// Upper-tail p-value of a chi-square statistic with `dof` degrees of
+/// freedom, via the Wilson-Hilferty normal approximation. Accurate enough
+/// for hypothesis tests at the 1e-4 .. 0.5 levels used in our test suite.
+double ChiSquarePValue(double statistic, uint64_t dof);
+
+/// Pearson chi-square goodness-of-fit statistic for observed counts against
+/// expected counts. Vectors must be the same non-zero length.
+double ChiSquareStatistic(const std::vector<uint64_t>& observed,
+                          const std::vector<double>& expected);
+
+}  // namespace msv
+
+#endif  // MSV_UTIL_STATS_H_

@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace msv {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out.append(": ");
+  out.append(rep_->message);
+  return out;
+}
+
+}  // namespace msv

@@ -1,0 +1,129 @@
+// Status: lightweight error propagation for I/O and index code paths.
+//
+// Follows the RocksDB/Arrow convention: functions that can fail return a
+// Status (or Result<T>, see result.h) instead of throwing. Statuses are
+// cheap to copy in the OK case (no allocation) and carry a code plus a
+// human-readable message otherwise.
+
+#ifndef MSV_UTIL_STATUS_H_
+#define MSV_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace msv {
+
+/// Error categories used across the library.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. An OK status carries no payload
+/// and no allocation; error statuses carry a code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const noexcept { return rep_ == nullptr; }
+  StatusCode code() const noexcept {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Message attached at construction; empty for OK.
+  std::string_view message() const noexcept {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "OK" or "<Code>: <message>"; suitable for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // nullptr <=> OK
+};
+
+}  // namespace msv
+
+/// Propagates a non-OK status to the caller; evaluates `expr` exactly once.
+#define MSV_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::msv::Status _msv_status = (expr);              \
+    if (!_msv_status.ok()) return _msv_status;       \
+  } while (0)
+
+#endif  // MSV_UTIL_STATUS_H_

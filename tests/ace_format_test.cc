@@ -1,0 +1,257 @@
+#include <cmath>
+#include <vector>
+
+#include "core/ace_format.h"
+#include "core/split_tree.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace msv::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Superblock / internal node serialization
+// ---------------------------------------------------------------------------
+
+TEST(AceFormatTest, SuperblockRoundTrip) {
+  AceMeta meta;
+  meta.page_size = 64 << 10;
+  meta.record_size = 100;
+  meta.key_dims = 2;
+  meta.height = 5;
+  meta.num_leaves = 16;
+  meta.num_records = 123456;
+  meta.internal_offset = 512;
+  meta.directory_offset = 2048;
+  meta.data_offset = 65536;
+  meta.domain_min[0] = -3.5;
+  meta.domain_max[0] = 99.5;
+  meta.domain_min[1] = 0.25;
+  meta.domain_max[1] = 7.75;
+
+  char buf[kSuperblockSize];
+  EncodeSuperblock(buf, meta);
+  AceMeta back = msv::testing::ValueOrDie(DecodeSuperblock(buf));
+  EXPECT_EQ(back.page_size, meta.page_size);
+  EXPECT_EQ(back.record_size, meta.record_size);
+  EXPECT_EQ(back.key_dims, meta.key_dims);
+  EXPECT_EQ(back.height, meta.height);
+  EXPECT_EQ(back.num_leaves, meta.num_leaves);
+  EXPECT_EQ(back.num_records, meta.num_records);
+  EXPECT_EQ(back.internal_offset, meta.internal_offset);
+  EXPECT_EQ(back.directory_offset, meta.directory_offset);
+  EXPECT_EQ(back.data_offset, meta.data_offset);
+  EXPECT_EQ(back.domain_min[0], meta.domain_min[0]);
+  EXPECT_EQ(back.domain_max[1], meta.domain_max[1]);
+}
+
+TEST(AceFormatTest, BadMagicRejected) {
+  char buf[kSuperblockSize] = {0};
+  EXPECT_TRUE(DecodeSuperblock(buf).status().IsCorruption());
+}
+
+TEST(AceFormatTest, InconsistentGeometryRejected) {
+  AceMeta meta;
+  meta.record_size = 100;
+  meta.height = 4;
+  meta.num_leaves = 7;  // must be 2^(h-1) = 8
+  char buf[kSuperblockSize];
+  EncodeSuperblock(buf, meta);
+  EXPECT_TRUE(DecodeSuperblock(buf).status().IsCorruption());
+}
+
+TEST(AceFormatTest, InternalNodeRoundTrip) {
+  InternalNode n;
+  n.split_key = 42.5;
+  n.split_dim = 1;
+  n.cnt_left = 1000;
+  n.cnt_right = 2000;
+  char buf[kInternalNodeSize];
+  EncodeInternalNode(buf, n);
+  InternalNode back = DecodeInternalNode(buf);
+  EXPECT_EQ(back.split_key, n.split_key);
+  EXPECT_EQ(back.split_dim, n.split_dim);
+  EXPECT_EQ(back.cnt_left, n.cnt_left);
+  EXPECT_EQ(back.cnt_right, n.cnt_right);
+}
+
+// ---------------------------------------------------------------------------
+// SplitTree navigation
+// ---------------------------------------------------------------------------
+
+// The paper's running example (Fig. 2): height 4, domain [0, 100],
+// splits 50 / 25, 75 / 12, 37, 62, 88.
+SplitTree PaperTree() {
+  std::vector<InternalNode> nodes(7);
+  double keys[] = {50, 25, 75, 12.5, 37.5, 62.5, 88};
+  for (int i = 0; i < 7; ++i) {
+    nodes[i].split_key = keys[i];
+    nodes[i].split_dim = 0;
+  }
+  Box root;
+  root.dims = 1;
+  root.lo[0] = 0;
+  root.hi[0] = 100;
+  return SplitTree(4, 1, std::move(nodes), root);
+}
+
+TEST(SplitTreeTest, LevelsAndAncestors) {
+  EXPECT_EQ(SplitTree::LevelOf(1), 1u);
+  EXPECT_EQ(SplitTree::LevelOf(2), 2u);
+  EXPECT_EQ(SplitTree::LevelOf(3), 2u);
+  EXPECT_EQ(SplitTree::LevelOf(7), 3u);
+  EXPECT_EQ(SplitTree::LevelOf(8), 4u);
+  EXPECT_EQ(SplitTree::LevelOf(15), 4u);
+  EXPECT_EQ(SplitTree::AncestorAtLevel(13, 1), 1u);
+  EXPECT_EQ(SplitTree::AncestorAtLevel(13, 2), 3u);
+  EXPECT_EQ(SplitTree::AncestorAtLevel(13, 3), 6u);
+  EXPECT_EQ(SplitTree::AncestorAtLevel(13, 4), 13u);
+}
+
+TEST(SplitTreeTest, LeafNumbering) {
+  SplitTree tree = PaperTree();
+  EXPECT_EQ(tree.num_leaves(), 8u);
+  EXPECT_EQ(tree.LeafHeapId(0), 8u);
+  EXPECT_EQ(tree.LeafHeapId(7), 15u);
+  EXPECT_EQ(tree.LeafIndexOf(8), 0u);
+  EXPECT_EQ(tree.LeafIndexOf(15), 7u);
+}
+
+TEST(SplitTreeTest, LeavesUnder) {
+  SplitTree tree = PaperTree();
+  auto [lo1, hi1] = tree.LeavesUnder(1);
+  EXPECT_EQ(lo1, 0u);
+  EXPECT_EQ(hi1, 8u);
+  auto [lo2, hi2] = tree.LeavesUnder(3);  // right child of root
+  EXPECT_EQ(lo2, 4u);
+  EXPECT_EQ(hi2, 8u);
+  auto [lo3, hi3] = tree.LeavesUnder(6);
+  EXPECT_EQ(lo3, 4u);
+  EXPECT_EQ(hi3, 6u);
+  auto [lo4, hi4] = tree.LeavesUnder(13);  // a leaf itself
+  EXPECT_EQ(lo4, 5u);
+  EXPECT_EQ(hi4, 6u);
+}
+
+TEST(SplitTreeTest, BoxOfMatchesPaperRanges) {
+  SplitTree tree = PaperTree();
+  Box root = tree.BoxOf(1);
+  EXPECT_EQ(root.lo[0], 0);
+  EXPECT_EQ(root.hi[0], 100);
+  Box left = tree.BoxOf(2);
+  EXPECT_EQ(left.lo[0], 0);
+  EXPECT_EQ(left.hi[0], 50);
+  Box l4_parent = tree.BoxOf(5);  // I3,2 of the paper: [25, 50)
+  EXPECT_EQ(l4_parent.lo[0], 25);
+  EXPECT_EQ(l4_parent.hi[0], 50);
+  Box leaf_l4 = tree.BoxOf(11);  // paper's L4: [37.5, 50)
+  EXPECT_EQ(leaf_l4.lo[0], 37.5);
+  EXPECT_EQ(leaf_l4.hi[0], 50);
+}
+
+TEST(SplitTreeTest, DescendFollowsSplits) {
+  SplitTree tree = PaperTree();
+  double key30 = 30;
+  // 30 < 50 -> left (2); 30 >= 25 -> right (5); 30 < 37.5 -> left (10).
+  EXPECT_EQ(tree.DescendToLevel(&key30, 1), 1u);
+  EXPECT_EQ(tree.DescendToLevel(&key30, 2), 2u);
+  EXPECT_EQ(tree.DescendToLevel(&key30, 3), 5u);
+  EXPECT_EQ(tree.DescendToLevel(&key30, 4), 10u);
+  EXPECT_EQ(tree.CellOf(&key30), 2u);
+  double key99 = 99;
+  EXPECT_EQ(tree.CellOf(&key99), 7u);
+  double key0 = 0;
+  EXPECT_EQ(tree.CellOf(&key0), 0u);
+}
+
+TEST(SplitTreeTest, DescentAgreesWithBoxes) {
+  SplitTree tree = PaperTree();
+  for (double key = 0.5; key < 100; key += 1.0) {
+    uint64_t cell = tree.CellOf(&key);
+    Box box = tree.BoxOf(tree.LeafHeapId(cell));
+    EXPECT_GE(key, box.lo[0]) << key;
+    EXPECT_LT(key, box.hi[0]) << key;
+  }
+}
+
+TEST(SplitTreeTest, CoveringSetsForPaperQuery) {
+  SplitTree tree = PaperTree();
+  // The paper's example query Q = [30, 65].
+  auto q = sampling::RangeQuery::OneDim(30, 65);
+  auto covering = tree.CoveringSets(q);
+  ASSERT_EQ(covering.size(), 4u);
+  EXPECT_EQ(covering[0], (std::vector<uint64_t>{1}));
+  EXPECT_EQ(covering[1], (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(covering[2], (std::vector<uint64_t>{5, 6}));
+  // Leaf boxes: [25,37.5) [37.5,50) [50,62.5) [62.5,75) overlap [30,65].
+  EXPECT_EQ(covering[3], (std::vector<uint64_t>{10, 11, 12, 13}));
+}
+
+TEST(SplitTreeTest, CoveringSetsDisjointQueries) {
+  SplitTree tree = PaperTree();
+  auto q = sampling::RangeQuery::OneDim(200, 300);  // outside the domain
+  auto covering = tree.CoveringSets(q);
+  for (const auto& level : covering) EXPECT_TRUE(level.empty());
+}
+
+TEST(SplitTreeTest, PointQueryCoversOnePathPlusRoot) {
+  SplitTree tree = PaperTree();
+  auto q = sampling::RangeQuery::OneDim(40, 40);
+  auto covering = tree.CoveringSets(q);
+  for (const auto& level : covering) EXPECT_EQ(level.size(), 1u);
+  EXPECT_EQ(covering[3][0], 11u);  // leaf [37.5, 50)
+}
+
+TEST(SplitTreeTest, BoxQueryOverlapSemantics) {
+  Box b;
+  b.dims = 1;
+  b.lo[0] = 10;
+  b.hi[0] = 20;  // [10, 20)
+  EXPECT_TRUE(BoxOverlapsQuery(b, sampling::RangeQuery::OneDim(19.9, 30)));
+  EXPECT_FALSE(BoxOverlapsQuery(b, sampling::RangeQuery::OneDim(20, 30)));
+  EXPECT_TRUE(BoxOverlapsQuery(b, sampling::RangeQuery::OneDim(0, 10)));
+  EXPECT_TRUE(BoxCoversQuery(b, sampling::RangeQuery::OneDim(10, 19.9)));
+  EXPECT_FALSE(BoxCoversQuery(b, sampling::RangeQuery::OneDim(10, 20)));
+}
+
+TEST(SplitTreeTest, SingleLeafTree) {
+  Box root;
+  root.dims = 1;
+  root.lo[0] = 0;
+  root.hi[0] = 1;
+  SplitTree tree(1, 1, {}, root);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  double k = 0.5;
+  EXPECT_EQ(tree.CellOf(&k), 0u);
+  auto covering = tree.CoveringSets(sampling::RangeQuery::OneDim(0.2, 0.8));
+  ASSERT_EQ(covering.size(), 1u);
+  EXPECT_EQ(covering[0], (std::vector<uint64_t>{1}));
+}
+
+TEST(SplitTreeTest, TwoDimCoveringRespectsBothDims) {
+  // Height 3, 2-d: root splits dim0 at 50; level-2 nodes split dim1 at 50.
+  std::vector<InternalNode> nodes(3);
+  nodes[0] = {50.0, 0, 0, 0};
+  nodes[1] = {50.0, 1, 0, 0};
+  nodes[2] = {50.0, 1, 0, 0};
+  Box root;
+  root.dims = 2;
+  root.lo[0] = root.lo[1] = 0;
+  root.hi[0] = root.hi[1] = 100;
+  SplitTree tree(3, 2, std::move(nodes), root);
+
+  // A query confined to dim0 < 50 and dim1 < 50 covers only leaf 0.
+  auto q = sampling::RangeQuery::TwoDim(10, 20, 10, 20);
+  auto covering = tree.CoveringSets(q);
+  EXPECT_EQ(covering[0], (std::vector<uint64_t>{1}));
+  EXPECT_EQ(covering[1], (std::vector<uint64_t>{2}));
+  EXPECT_EQ(covering[2], (std::vector<uint64_t>{4}));
+
+  // A query crossing the dim1 split covers two leaves under node 2.
+  auto q2 = sampling::RangeQuery::TwoDim(10, 20, 40, 60);
+  auto covering2 = tree.CoveringSets(q2);
+  EXPECT_EQ(covering2[2], (std::vector<uint64_t>{4, 5}));
+}
+
+}  // namespace
+}  // namespace msv::core

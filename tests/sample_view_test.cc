@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/sample_view.h"
+#include "gtest/gtest.h"
+#include "io/env.h"
+#include "relation/workload.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace msv::core {
+namespace {
+
+using msv::testing::AllDistinct;
+using msv::testing::MakeSale;
+using msv::testing::ValueOrDie;
+using storage::SaleRecord;
+
+class SampleViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = io::NewMemEnv();
+    MakeSale(env_.get(), "sale", kBase, 5);
+    layout_ = SaleRecord::Layout1D();
+    MaterializedSampleView::Options options;
+    options.build.height = 5;
+    view_ = ValueOrDie(MaterializedSampleView::Create(env_.get(), "v",
+                                                      "sale", layout_,
+                                                      options));
+  }
+
+  // Encodes `n` fresh records with row ids starting at kBase and DAY
+  // values inside [lo, hi).
+  std::string MakeInserts(uint64_t n, double lo, double hi,
+                          uint64_t seed = 17) {
+    Pcg64 rng(seed);
+    std::string out;
+    char buf[SaleRecord::kSize];
+    for (uint64_t i = 0; i < n; ++i) {
+      SaleRecord rec;
+      rec.day = rng.DoubleInRange(lo, hi);
+      rec.amount = rng.DoubleInRange(0, 10000);
+      rec.row_id = kBase + next_insert_id_++;
+      rec.EncodeTo(buf);
+      out.append(buf, sizeof(buf));
+    }
+    return out;
+  }
+
+  std::vector<uint64_t> Drain(ViewSampler* sampler) {
+    std::vector<uint64_t> ids;
+    while (!sampler->done()) {
+      auto batch = ValueOrDie(sampler->NextBatch());
+      for (size_t i = 0; i < batch.count(); ++i) {
+        ids.push_back(SaleRecord::DecodeFrom(batch.record(i)).row_id);
+      }
+    }
+    return ids;
+  }
+
+  static constexpr uint64_t kBase = 10000;
+  std::unique_ptr<io::Env> env_;
+  storage::RecordLayout layout_;
+  std::unique_ptr<MaterializedSampleView> view_;
+  uint64_t next_insert_id_ = 0;
+};
+
+TEST_F(SampleViewTest, FreshViewSamplesLikeThePlainTree) {
+  auto q = sampling::RangeQuery::OneDim(20000, 60000);
+  auto sale = ValueOrDie(storage::HeapFile::Open(env_.get(), "sale"));
+  auto expected =
+      ValueOrDie(relation::CollectMatchingRowIds(*sale, layout_, q));
+  auto sampler = ValueOrDie(view_->Sample(q, 3));
+  auto ids = Drain(sampler.get());
+  EXPECT_TRUE(AllDistinct(ids));
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, expected);
+}
+
+TEST_F(SampleViewTest, InsertsBecomeVisibleToNewSamplers) {
+  auto q = sampling::RangeQuery::OneDim(30000, 40000);
+  std::string inserts = MakeInserts(200, 30000, 40000);
+  MSV_ASSERT_OK(view_->Insert(inserts.data(), 200));
+  EXPECT_EQ(view_->delta_records(), 200u);
+
+  auto sampler = ValueOrDie(view_->Sample(q, 4));
+  auto ids = Drain(sampler.get());
+  EXPECT_TRUE(AllDistinct(ids));
+  uint64_t from_delta = 0;
+  for (uint64_t id : ids) from_delta += id >= kBase;
+  EXPECT_EQ(from_delta, 200u);  // every inserted record matches
+}
+
+TEST_F(SampleViewTest, InsertsOutsideTheQueryAreFilteredOut) {
+  std::string inserts = MakeInserts(150, 90000, 99000);
+  MSV_ASSERT_OK(view_->Insert(inserts.data(), 150));
+  auto q = sampling::RangeQuery::OneDim(10000, 20000);
+  auto sampler = ValueOrDie(view_->Sample(q, 4));
+  for (uint64_t id : Drain(sampler.get())) {
+    EXPECT_LT(id, kBase);
+  }
+}
+
+TEST_F(SampleViewTest, UnifiedPrefixMixesPartitionsProportionally) {
+  // Insert as many matching records as the base has in the range; an
+  // early prefix of the unified stream should then be roughly half
+  // delta, half base (exact hypergeometric interleave given exact
+  // counts).
+  auto q = sampling::RangeQuery::OneDim(45000, 55000);
+  auto sale = ValueOrDie(storage::HeapFile::Open(env_.get(), "sale"));
+  auto base_matches =
+      ValueOrDie(relation::CollectMatchingRowIds(*sale, layout_, q));
+  uint64_t n = base_matches.size();
+  std::string inserts = MakeInserts(n, 45000, 55000);
+  MSV_ASSERT_OK(view_->Insert(inserts.data(), n));
+
+  RunningStats delta_fraction;
+  const int kTrials = 60;
+  const size_t kPrefix = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    auto sampler = ValueOrDie(view_->Sample(q, 100 + t, n));
+    size_t from_delta = 0, seen = 0;
+    while (!sampler->done() && seen < kPrefix) {
+      auto batch = ValueOrDie(sampler->NextBatch());
+      for (size_t i = 0; i < batch.count() && seen < kPrefix; ++i, ++seen) {
+        from_delta +=
+            SaleRecord::DecodeFrom(batch.record(i)).row_id >= kBase;
+      }
+    }
+    delta_fraction.Add(static_cast<double>(from_delta) /
+                       static_cast<double>(seen));
+  }
+  EXPECT_NEAR(delta_fraction.mean(), 0.5, 0.04);
+}
+
+TEST_F(SampleViewTest, RebuildFoldsDeltaIntoTheTree) {
+  std::string inserts = MakeInserts(500, 0, 100000);
+  MSV_ASSERT_OK(view_->Insert(inserts.data(), 500));
+  EXPECT_EQ(view_->base_records(), kBase);
+  MSV_ASSERT_OK(view_->Rebuild());
+  EXPECT_EQ(view_->base_records(), kBase + 500);
+  EXPECT_EQ(view_->delta_records(), 0u);
+
+  // The rebuilt view still returns exactly the full match set.
+  auto q = sampling::RangeQuery::OneDim(-1e18, 1e18);
+  auto sampler = ValueOrDie(view_->Sample(q, 5));
+  auto ids = Drain(sampler.get());
+  EXPECT_EQ(ids.size(), kBase + 500);
+  EXPECT_TRUE(AllDistinct(ids));
+}
+
+TEST_F(SampleViewTest, NeedsRebuildThreshold) {
+  EXPECT_FALSE(view_->NeedsRebuild());
+  std::string inserts = MakeInserts(1500, 0, 100000);  // 15% of the base
+  MSV_ASSERT_OK(view_->Insert(inserts.data(), 1500));
+  EXPECT_TRUE(view_->NeedsRebuild());
+  MSV_ASSERT_OK(view_->Rebuild());
+  EXPECT_FALSE(view_->NeedsRebuild());
+}
+
+TEST_F(SampleViewTest, ReopenSeesBaseAndDelta) {
+  std::string inserts = MakeInserts(70, 20000, 30000);
+  MSV_ASSERT_OK(view_->Insert(inserts.data(), 70));
+  view_.reset();
+  auto reopened = ValueOrDie(
+      MaterializedSampleView::Open(env_.get(), "v", layout_));
+  EXPECT_EQ(reopened->base_records(), kBase);
+  EXPECT_EQ(reopened->delta_records(), 70u);
+  auto q = sampling::RangeQuery::OneDim(20000, 30000);
+  auto sampler = ValueOrDie(reopened->Sample(q, 6));
+  std::vector<uint64_t> ids;
+  while (!sampler->done()) {
+    auto batch = ValueOrDie(sampler->NextBatch());
+    for (size_t i = 0; i < batch.count(); ++i) {
+      ids.push_back(SaleRecord::DecodeFrom(batch.record(i)).row_id);
+    }
+  }
+  uint64_t from_delta = 0;
+  for (uint64_t id : ids) from_delta += id >= kBase;
+  EXPECT_EQ(from_delta, 70u);
+}
+
+TEST_F(SampleViewTest, MultipleInsertBatchesAccumulate) {
+  for (int i = 0; i < 5; ++i) {
+    std::string inserts = MakeInserts(10, 0, 100000, 40 + i);
+    MSV_ASSERT_OK(view_->Insert(inserts.data(), 10));
+  }
+  EXPECT_EQ(view_->delta_records(), 50u);
+  auto q = sampling::RangeQuery::OneDim(-1e18, 1e18);
+  auto sampler = ValueOrDie(view_->Sample(q, 7));
+  auto ids = Drain(sampler.get());
+  EXPECT_EQ(ids.size(), kBase + 50);
+  EXPECT_TRUE(AllDistinct(ids));
+}
+
+}  // namespace
+}  // namespace msv::core
