@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block_sampling.dir/ablation_block_sampling.cc.o"
+  "CMakeFiles/ablation_block_sampling.dir/ablation_block_sampling.cc.o.d"
+  "ablation_block_sampling"
+  "ablation_block_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

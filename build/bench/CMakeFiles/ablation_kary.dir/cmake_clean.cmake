@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kary.dir/ablation_kary.cc.o"
+  "CMakeFiles/ablation_kary.dir/ablation_kary.cc.o.d"
+  "ablation_kary"
+  "ablation_kary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/construction_cost.dir/construction_cost.cc.o"
+  "CMakeFiles/construction_cost.dir/construction_cost.cc.o.d"
+  "construction_cost"
+  "construction_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/construction_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

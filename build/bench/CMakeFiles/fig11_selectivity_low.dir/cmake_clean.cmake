@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_selectivity_low.dir/fig11_selectivity_low.cc.o"
+  "CMakeFiles/fig11_selectivity_low.dir/fig11_selectivity_low.cc.o.d"
+  "fig11_selectivity_low"
+  "fig11_selectivity_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_selectivity_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_selectivity_mid.dir/fig12_selectivity_mid.cc.o"
+  "CMakeFiles/fig12_selectivity_mid.dir/fig12_selectivity_mid.cc.o.d"
+  "fig12_selectivity_mid"
+  "fig12_selectivity_mid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_selectivity_mid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_selectivity_high.dir/fig13_selectivity_high.cc.o"
+  "CMakeFiles/fig13_selectivity_high.dir/fig13_selectivity_high.cc.o.d"
+  "fig13_selectivity_high"
+  "fig13_selectivity_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_selectivity_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

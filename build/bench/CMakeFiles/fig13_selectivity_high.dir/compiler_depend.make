@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_selectivity_high.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_completion.dir/fig14_completion.cc.o"
+  "CMakeFiles/fig14_completion.dir/fig14_completion.cc.o.d"
+  "fig14_completion"
+  "fig14_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_memory.dir/fig15_memory.cc.o"
+  "CMakeFiles/fig15_memory.dir/fig15_memory.cc.o.d"
+  "fig15_memory"
+  "fig15_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_2d_low.dir/fig16_2d_low.cc.o"
+  "CMakeFiles/fig16_2d_low.dir/fig16_2d_low.cc.o.d"
+  "fig16_2d_low"
+  "fig16_2d_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_2d_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

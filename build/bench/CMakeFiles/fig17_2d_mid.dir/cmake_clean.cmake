@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_2d_mid.dir/fig17_2d_mid.cc.o"
+  "CMakeFiles/fig17_2d_mid.dir/fig17_2d_mid.cc.o.d"
+  "fig17_2d_mid"
+  "fig17_2d_mid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_2d_mid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

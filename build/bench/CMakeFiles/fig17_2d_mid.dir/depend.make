@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_2d_mid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_2d_high.dir/fig18_2d_high.cc.o"
+  "CMakeFiles/fig18_2d_high.dir/fig18_2d_high.cc.o.d"
+  "fig18_2d_high"
+  "fig18_2d_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_2d_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma1_bound.dir/lemma1_bound.cc.o"
+  "CMakeFiles/lemma1_bound.dir/lemma1_bound.cc.o.d"
+  "lemma1_bound"
+  "lemma1_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma1_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

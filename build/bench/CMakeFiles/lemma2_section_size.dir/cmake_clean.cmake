@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma2_section_size.dir/lemma2_section_size.cc.o"
+  "CMakeFiles/lemma2_section_size.dir/lemma2_section_size.cc.o.d"
+  "lemma2_section_size"
+  "lemma2_section_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma2_section_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lemma2_section_size.
+# This may be replaced when dependencies are built.

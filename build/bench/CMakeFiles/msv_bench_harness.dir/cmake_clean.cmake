@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/msv_bench_harness.dir/harness.cc.o.d"
+  "CMakeFiles/msv_bench_harness.dir/sampling_rate.cc.o"
+  "CMakeFiles/msv_bench_harness.dir/sampling_rate.cc.o.d"
+  "libmsv_bench_harness.a"
+  "libmsv_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

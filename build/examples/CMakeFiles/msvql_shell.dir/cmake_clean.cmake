@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msvql_shell.dir/msvql_shell.cc.o"
+  "CMakeFiles/msvql_shell.dir/msvql_shell.cc.o.d"
+  "msvql_shell"
+  "msvql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msvql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multidim_explore.cc" "examples/CMakeFiles/multidim_explore.dir/multidim_explore.cc.o" "gcc" "examples/CMakeFiles/multidim_explore.dir/multidim_explore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/msv_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/msv_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/msv_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/permuted/CMakeFiles/msv_permuted.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/msv_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/msv_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/extsort/CMakeFiles/msv_extsort.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/msv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/msv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidim_explore.dir/multidim_explore.cc.o"
+  "CMakeFiles/multidim_explore.dir/multidim_explore.cc.o.d"
+  "multidim_explore"
+  "multidim_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidim_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

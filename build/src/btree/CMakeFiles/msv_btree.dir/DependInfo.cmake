@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/block_sampler.cc" "src/btree/CMakeFiles/msv_btree.dir/block_sampler.cc.o" "gcc" "src/btree/CMakeFiles/msv_btree.dir/block_sampler.cc.o.d"
+  "/root/repo/src/btree/btree_sampler.cc" "src/btree/CMakeFiles/msv_btree.dir/btree_sampler.cc.o" "gcc" "src/btree/CMakeFiles/msv_btree.dir/btree_sampler.cc.o.d"
+  "/root/repo/src/btree/ranked_btree.cc" "src/btree/CMakeFiles/msv_btree.dir/ranked_btree.cc.o" "gcc" "src/btree/CMakeFiles/msv_btree.dir/ranked_btree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/msv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/msv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/msv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/extsort/CMakeFiles/msv_extsort.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/msv_sampling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_btree.dir/block_sampler.cc.o"
+  "CMakeFiles/msv_btree.dir/block_sampler.cc.o.d"
+  "CMakeFiles/msv_btree.dir/btree_sampler.cc.o"
+  "CMakeFiles/msv_btree.dir/btree_sampler.cc.o.d"
+  "CMakeFiles/msv_btree.dir/ranked_btree.cc.o"
+  "CMakeFiles/msv_btree.dir/ranked_btree.cc.o.d"
+  "libmsv_btree.a"
+  "libmsv_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ace_builder.cc" "src/core/CMakeFiles/msv_core.dir/ace_builder.cc.o" "gcc" "src/core/CMakeFiles/msv_core.dir/ace_builder.cc.o.d"
+  "/root/repo/src/core/ace_format.cc" "src/core/CMakeFiles/msv_core.dir/ace_format.cc.o" "gcc" "src/core/CMakeFiles/msv_core.dir/ace_format.cc.o.d"
+  "/root/repo/src/core/ace_sampler.cc" "src/core/CMakeFiles/msv_core.dir/ace_sampler.cc.o" "gcc" "src/core/CMakeFiles/msv_core.dir/ace_sampler.cc.o.d"
+  "/root/repo/src/core/ace_tree.cc" "src/core/CMakeFiles/msv_core.dir/ace_tree.cc.o" "gcc" "src/core/CMakeFiles/msv_core.dir/ace_tree.cc.o.d"
+  "/root/repo/src/core/combine_engine.cc" "src/core/CMakeFiles/msv_core.dir/combine_engine.cc.o" "gcc" "src/core/CMakeFiles/msv_core.dir/combine_engine.cc.o.d"
+  "/root/repo/src/core/sample_view.cc" "src/core/CMakeFiles/msv_core.dir/sample_view.cc.o" "gcc" "src/core/CMakeFiles/msv_core.dir/sample_view.cc.o.d"
+  "/root/repo/src/core/split_tree.cc" "src/core/CMakeFiles/msv_core.dir/split_tree.cc.o" "gcc" "src/core/CMakeFiles/msv_core.dir/split_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/msv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/msv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/msv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/extsort/CMakeFiles/msv_extsort.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/msv_sampling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_core.dir/ace_builder.cc.o"
+  "CMakeFiles/msv_core.dir/ace_builder.cc.o.d"
+  "CMakeFiles/msv_core.dir/ace_format.cc.o"
+  "CMakeFiles/msv_core.dir/ace_format.cc.o.d"
+  "CMakeFiles/msv_core.dir/ace_sampler.cc.o"
+  "CMakeFiles/msv_core.dir/ace_sampler.cc.o.d"
+  "CMakeFiles/msv_core.dir/ace_tree.cc.o"
+  "CMakeFiles/msv_core.dir/ace_tree.cc.o.d"
+  "CMakeFiles/msv_core.dir/combine_engine.cc.o"
+  "CMakeFiles/msv_core.dir/combine_engine.cc.o.d"
+  "CMakeFiles/msv_core.dir/sample_view.cc.o"
+  "CMakeFiles/msv_core.dir/sample_view.cc.o.d"
+  "CMakeFiles/msv_core.dir/split_tree.cc.o"
+  "CMakeFiles/msv_core.dir/split_tree.cc.o.d"
+  "libmsv_core.a"
+  "libmsv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extsort/external_sorter.cc" "src/extsort/CMakeFiles/msv_extsort.dir/external_sorter.cc.o" "gcc" "src/extsort/CMakeFiles/msv_extsort.dir/external_sorter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/msv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/msv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/msv_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_extsort.dir/external_sorter.cc.o"
+  "CMakeFiles/msv_extsort.dir/external_sorter.cc.o.d"
+  "libmsv_extsort.a"
+  "libmsv_extsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_extsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsv_extsort.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for msv_extsort.
+# This may be replaced when dependencies are built.

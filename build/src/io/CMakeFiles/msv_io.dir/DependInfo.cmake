@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/buffer_pool.cc" "src/io/CMakeFiles/msv_io.dir/buffer_pool.cc.o" "gcc" "src/io/CMakeFiles/msv_io.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/io/disk_model.cc" "src/io/CMakeFiles/msv_io.dir/disk_model.cc.o" "gcc" "src/io/CMakeFiles/msv_io.dir/disk_model.cc.o.d"
+  "/root/repo/src/io/env.cc" "src/io/CMakeFiles/msv_io.dir/env.cc.o" "gcc" "src/io/CMakeFiles/msv_io.dir/env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/msv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

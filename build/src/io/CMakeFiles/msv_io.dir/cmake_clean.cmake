@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_io.dir/buffer_pool.cc.o"
+  "CMakeFiles/msv_io.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/msv_io.dir/disk_model.cc.o"
+  "CMakeFiles/msv_io.dir/disk_model.cc.o.d"
+  "CMakeFiles/msv_io.dir/env.cc.o"
+  "CMakeFiles/msv_io.dir/env.cc.o.d"
+  "libmsv_io.a"
+  "libmsv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

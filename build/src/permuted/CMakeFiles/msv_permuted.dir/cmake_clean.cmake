@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_permuted.dir/permuted_file.cc.o"
+  "CMakeFiles/msv_permuted.dir/permuted_file.cc.o.d"
+  "libmsv_permuted.a"
+  "libmsv_permuted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_permuted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

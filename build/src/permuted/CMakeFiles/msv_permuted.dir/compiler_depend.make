@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for msv_permuted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/catalog.cc" "src/query/CMakeFiles/msv_query.dir/catalog.cc.o" "gcc" "src/query/CMakeFiles/msv_query.dir/catalog.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/msv_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/msv_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/msv_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/msv_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/msv_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/msv_query.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/msv_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/msv_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/msv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/msv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/extsort/CMakeFiles/msv_extsort.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

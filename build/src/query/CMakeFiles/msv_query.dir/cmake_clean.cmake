@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_query.dir/catalog.cc.o"
+  "CMakeFiles/msv_query.dir/catalog.cc.o.d"
+  "CMakeFiles/msv_query.dir/executor.cc.o"
+  "CMakeFiles/msv_query.dir/executor.cc.o.d"
+  "CMakeFiles/msv_query.dir/lexer.cc.o"
+  "CMakeFiles/msv_query.dir/lexer.cc.o.d"
+  "CMakeFiles/msv_query.dir/parser.cc.o"
+  "CMakeFiles/msv_query.dir/parser.cc.o.d"
+  "libmsv_query.a"
+  "libmsv_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

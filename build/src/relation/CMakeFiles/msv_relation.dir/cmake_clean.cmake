@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_relation.dir/sale_generator.cc.o"
+  "CMakeFiles/msv_relation.dir/sale_generator.cc.o.d"
+  "CMakeFiles/msv_relation.dir/workload.cc.o"
+  "CMakeFiles/msv_relation.dir/workload.cc.o.d"
+  "libmsv_relation.a"
+  "libmsv_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_rtree.dir/rtree.cc.o"
+  "CMakeFiles/msv_rtree.dir/rtree.cc.o.d"
+  "CMakeFiles/msv_rtree.dir/rtree_sampler.cc.o"
+  "CMakeFiles/msv_rtree.dir/rtree_sampler.cc.o.d"
+  "libmsv_rtree.a"
+  "libmsv_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

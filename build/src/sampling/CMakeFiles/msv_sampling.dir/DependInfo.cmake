@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/grouped_aggregator.cc" "src/sampling/CMakeFiles/msv_sampling.dir/grouped_aggregator.cc.o" "gcc" "src/sampling/CMakeFiles/msv_sampling.dir/grouped_aggregator.cc.o.d"
+  "/root/repo/src/sampling/online_aggregator.cc" "src/sampling/CMakeFiles/msv_sampling.dir/online_aggregator.cc.o" "gcc" "src/sampling/CMakeFiles/msv_sampling.dir/online_aggregator.cc.o.d"
+  "/root/repo/src/sampling/range_query.cc" "src/sampling/CMakeFiles/msv_sampling.dir/range_query.cc.o" "gcc" "src/sampling/CMakeFiles/msv_sampling.dir/range_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/msv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/msv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/msv_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

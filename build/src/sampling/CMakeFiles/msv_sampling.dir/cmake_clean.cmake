@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_sampling.dir/grouped_aggregator.cc.o"
+  "CMakeFiles/msv_sampling.dir/grouped_aggregator.cc.o.d"
+  "CMakeFiles/msv_sampling.dir/online_aggregator.cc.o"
+  "CMakeFiles/msv_sampling.dir/online_aggregator.cc.o.d"
+  "CMakeFiles/msv_sampling.dir/range_query.cc.o"
+  "CMakeFiles/msv_sampling.dir/range_query.cc.o.d"
+  "libmsv_sampling.a"
+  "libmsv_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

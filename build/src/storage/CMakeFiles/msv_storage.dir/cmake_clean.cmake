@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_storage.dir/heap_file.cc.o"
+  "CMakeFiles/msv_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/msv_storage.dir/record.cc.o"
+  "CMakeFiles/msv_storage.dir/record.cc.o.d"
+  "libmsv_storage.a"
+  "libmsv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

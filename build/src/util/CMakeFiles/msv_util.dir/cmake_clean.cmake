@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_util.dir/crc32c.cc.o"
+  "CMakeFiles/msv_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/msv_util.dir/histogram.cc.o"
+  "CMakeFiles/msv_util.dir/histogram.cc.o.d"
+  "CMakeFiles/msv_util.dir/logging.cc.o"
+  "CMakeFiles/msv_util.dir/logging.cc.o.d"
+  "CMakeFiles/msv_util.dir/random.cc.o"
+  "CMakeFiles/msv_util.dir/random.cc.o.d"
+  "CMakeFiles/msv_util.dir/stats.cc.o"
+  "CMakeFiles/msv_util.dir/stats.cc.o.d"
+  "CMakeFiles/msv_util.dir/status.cc.o"
+  "CMakeFiles/msv_util.dir/status.cc.o.d"
+  "libmsv_util.a"
+  "libmsv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

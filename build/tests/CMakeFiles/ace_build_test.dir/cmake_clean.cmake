@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_build_test.dir/ace_build_test.cc.o"
+  "CMakeFiles/ace_build_test.dir/ace_build_test.cc.o.d"
+  "ace_build_test"
+  "ace_build_test.pdb"
+  "ace_build_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

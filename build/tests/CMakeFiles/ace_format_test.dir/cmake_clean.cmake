@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_format_test.dir/ace_format_test.cc.o"
+  "CMakeFiles/ace_format_test.dir/ace_format_test.cc.o.d"
+  "ace_format_test"
+  "ace_format_test.pdb"
+  "ace_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

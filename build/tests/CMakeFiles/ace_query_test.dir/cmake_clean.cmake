@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_query_test.dir/ace_query_test.cc.o"
+  "CMakeFiles/ace_query_test.dir/ace_query_test.cc.o.d"
+  "ace_query_test"
+  "ace_query_test.pdb"
+  "ace_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extsort_test.dir/extsort_test.cc.o"
+  "CMakeFiles/extsort_test.dir/extsort_test.cc.o.d"
+  "extsort_test"
+  "extsort_test.pdb"
+  "extsort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extsort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_data_test.dir/skewed_data_test.cc.o"
+  "CMakeFiles/skewed_data_test.dir/skewed_data_test.cc.o.d"
+  "skewed_data_test"
+  "skewed_data_test.pdb"
+  "skewed_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msv_inspect.dir/msv_inspect.cc.o"
+  "CMakeFiles/msv_inspect.dir/msv_inspect.cc.o.d"
+  "msv_inspect"
+  "msv_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msv_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
