@@ -24,7 +24,7 @@ int Main(int argc, char** argv) {
   std::vector<std::vector<double>> rows;
   for (uint32_t height : {2u, 4u, 6u, 8u, 10u}) {
     // Rebuild at each height (delete the previous tree file).
-    env.raw_env()->DeleteFile(BenchEnv::kAce).ok();
+    env.raw_env()->DeleteFile(BenchEnv::kAce).IgnoreError();  // best-effort scratch cleanup
     env.BuildAce(height);
     auto tree_or =
         core::AceTree::Open(env.raw_env(), BenchEnv::kAce, env.layout());

@@ -206,7 +206,7 @@ Status BuildRankedBTree(io::Env* env, const std::string& input_name,
   MSV_RETURN_IF_ERROR(out->Sync());
 
   if (!options.input_sorted) {
-    env->DeleteFile(sorted_name).ok();
+    env->DeleteFile(sorted_name).IgnoreError();  // best-effort scratch cleanup
   }
   return Status::OK();
 }

@@ -290,7 +290,7 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
     }
     MSV_RETURN_IF_ERROR(writer->Finish());
   }
-  if (!phase1_file.empty()) env->DeleteFile(phase1_file).ok();
+  if (!phase1_file.empty()) env->DeleteFile(phase1_file).IgnoreError();  // best-effort scratch cleanup
 
   // -------------------------------------------------------------------
   // Phase 2b: external sort by (leaf, section).
@@ -308,7 +308,7 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
         },
         sort_options, &local.phase2_sort));
   }
-  env->DeleteFile(tagged_name).ok();
+  env->DeleteFile(tagged_name).IgnoreError();  // best-effort scratch cleanup
 
   // -------------------------------------------------------------------
   // Phase 2c: stream sorted records into leaf nodes + directory; then
@@ -374,7 +374,7 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
     }
     MSV_CHECK_MSG(rec == nullptr, "records left after final leaf");
   }
-  env->DeleteFile(placed_name).ok();
+  env->DeleteFile(placed_name).IgnoreError();  // best-effort scratch cleanup
 
   // Exact subtree counts from finest-cell counts.
   {

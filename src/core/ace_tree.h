@@ -43,6 +43,55 @@ struct LeafData {
   }
 };
 
+/// Tuning knobs for AceTree::CheckInvariants().
+struct InvariantCheckOptions {
+  /// Slack, in binomial standard deviations, allowed between a section's
+  /// observed size and its Lemma-2 expectation n_A / (h * F_A) before the
+  /// section is reported out of bounds.
+  double section_size_sigmas = 6.0;
+  /// Size bounds are only enforced when the expected section size is at
+  /// least this large; below it the relative variance makes any
+  /// fixed-sigma test either vacuous or flaky.
+  double min_expected_for_bound = 32.0;
+  /// Check that a leaf's sections are pairwise disjoint as byte strings
+  /// (Lemma 1's without-replacement property). Sound only when source
+  /// records are pairwise distinct, which holds for SALE data (row_id).
+  bool check_disjointness = true;
+  /// Recount records per finest cell and compare with the persisted
+  /// cnt_l/cnt_r tree. Costs one DescendToLevel per record.
+  bool check_cell_counts = true;
+  /// Stop collecting after this many violations (0 = unlimited).
+  size_t max_violations = 64;
+};
+
+/// One invariant violation. `leaf` identifies the offending on-disk leaf
+/// page where the problem is local; kNoLeaf marks tree-wide violations.
+struct InvariantViolation {
+  static constexpr uint64_t kNoLeaf = ~0ull;
+
+  StatusCode code = StatusCode::kCorruption;
+  uint64_t leaf = kNoLeaf;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Outcome of a structural verification pass.
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+  uint64_t leaves_checked = 0;
+  uint64_t records_checked = 0;
+  uint64_t sections_checked = 0;
+  /// True when max_violations cut the scan short.
+  bool truncated = false;
+
+  bool ok() const { return violations.empty(); }
+  /// OK when clean; otherwise the first violation's code and a summary.
+  Status ToStatus() const;
+  /// Multi-line human-readable report (one line per violation).
+  std::string ToString() const;
+};
+
 class AceTree {
  public:
   /// Opens the ACE tree file `name` in `env`.
@@ -69,6 +118,15 @@ class AceTree {
 
   /// Bytes occupied by the whole file (scan-time denominator in benches).
   uint64_t file_bytes() const { return file_bytes_; }
+
+  /// Full structural verification of the on-disk tree (ace_verify.cc):
+  /// leaf-page checksums and headers, directory geometry, split-tree
+  /// sanity, Lemma-2 section-size bounds, level-i leaf-set partitioning
+  /// (every section-i record descends to the leaf's level-i ancestor),
+  /// per-leaf section disjointness (Lemma 1), and cnt_l/cnt_r count
+  /// consistency. Reads every leaf once; O(N) records scanned.
+  InvariantReport CheckInvariants(
+      const InvariantCheckOptions& options = {}) const;
 
  private:
   AceTree(std::unique_ptr<io::File> file, storage::RecordLayout layout,

@@ -190,7 +190,7 @@ Status MaterializedSampleView::Rebuild() {
   AceBuildOptions build = options_.build;
   build.seed ^= 0x517cc1b727220a95ULL;  // fresh section/leaf randomness
   MSV_RETURN_IF_ERROR(BuildAceTree(env_, scratch, new_base, layout_, build));
-  env_->DeleteFile(scratch).ok();
+  env_->DeleteFile(scratch).IgnoreError();  // best-effort scratch cleanup
 
   tree_.reset();  // release the old file before replacing it
   MSV_RETURN_IF_ERROR(env_->DeleteFile(BaseName()));

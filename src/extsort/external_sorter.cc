@@ -187,7 +187,7 @@ Status ExternalSort(io::Env* env, const std::string& input_name,
   for (const std::string& name : to_delete) {
     // Best-effort cleanup; a failure to delete a temp run is not a sort
     // failure.
-    env->DeleteFile(name).ok();
+    env->DeleteFile(name).IgnoreError();  // best-effort scratch cleanup
   }
   if (metrics != nullptr) *metrics = local;
   return Status::OK();

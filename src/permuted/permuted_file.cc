@@ -52,7 +52,7 @@ Status BuildPermutedFile(io::Env* env, const std::string& input_name,
         return DecodeFixed64(a) < DecodeFixed64(b);
       },
       sort_options));
-  env->DeleteFile(keyed_name).ok();
+  env->DeleteFile(keyed_name).IgnoreError();  // best-effort scratch cleanup
 
   // Pass B: strip the key while writing the final file (the paper notes
   // the key is removed during the final TPMMS pass; we keep the sorter
@@ -71,7 +71,7 @@ Status BuildPermutedFile(io::Env* env, const std::string& input_name,
     }
     MSV_RETURN_IF_ERROR(writer->Finish());
   }
-  env->DeleteFile(sorted_name).ok();
+  env->DeleteFile(sorted_name).IgnoreError();  // best-effort scratch cleanup
   return Status::OK();
 }
 

@@ -341,8 +341,8 @@ Result<std::string> Executor::ExecDropView(const DropViewStmt& stmt) {
   }
   open_views_.erase(stmt.view);
   MSV_RETURN_IF_ERROR(catalog_->DropView(stmt.view));
-  env_->DeleteFile("view." + stmt.view + ".base").ok();
-  env_->DeleteFile("view." + stmt.view + ".delta").ok();
+  env_->DeleteFile("view." + stmt.view + ".base").IgnoreError();  // best-effort scratch cleanup
+  env_->DeleteFile("view." + stmt.view + ".delta").IgnoreError();  // best-effort scratch cleanup
   return "dropped view " + stmt.view + "\n";
 }
 

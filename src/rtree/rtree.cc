@@ -160,7 +160,7 @@ Status BuildRTree(io::Env* env, const std::string& input_name,
     MSV_RETURN_IF_ERROR(writer->Finish());
   }
   byx.reset();
-  env->DeleteFile(byx_name).ok();
+  env->DeleteFile(byx_name).IgnoreError();  // best-effort scratch cleanup
 
   // ----- STR step 3: sort by (slice, dimension 1 [, dim 2 ...]).
   const std::string placed_name = output_name + ".placed";
@@ -180,7 +180,7 @@ Status BuildRTree(io::Env* env, const std::string& input_name,
         },
         sort_options));
   }
-  env->DeleteFile(tagged_name).ok();
+  env->DeleteFile(tagged_name).IgnoreError();  // best-effort scratch cleanup
 
   // ----- Pack leaves, then internal levels bottom-up.
   MSV_ASSIGN_OR_RETURN(std::unique_ptr<io::File> out,
@@ -221,7 +221,7 @@ Status BuildRTree(io::Env* env, const std::string& input_name,
       ++next_page;
     }
   }
-  env->DeleteFile(placed_name).ok();
+  env->DeleteFile(placed_name).IgnoreError();  // best-effort scratch cleanup
 
   RTreeMeta meta;
   meta.page_size = page_size;

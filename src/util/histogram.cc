@@ -1,7 +1,7 @@
 #include "util/histogram.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/logging.h"
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -15,8 +15,8 @@ Histogram::Histogram(double lo, double hi, size_t buckets)
       counts_(buckets, 0),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {
-  assert(hi > lo);
-  assert(buckets > 0);
+  MSV_DCHECK(hi > lo);
+  MSV_DCHECK(buckets > 0);
 }
 
 void Histogram::Add(double value) {
@@ -44,7 +44,7 @@ void Histogram::Clear() {
 }
 
 double Histogram::Quantile(double q) const {
-  assert(q >= 0.0 && q <= 1.0);
+  MSV_DCHECK(q >= 0.0 && q <= 1.0);
   if (count_ == 0) return 0.0;
   double target = q * static_cast<double>(count_);
   double cum = static_cast<double>(underflow_);

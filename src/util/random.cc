@@ -2,11 +2,13 @@
 
 #include <unordered_set>
 
+#include "util/logging.h"
+
 namespace msv {
 
 std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
                                                Pcg64* rng) {
-  assert(k <= n);
+  MSV_DCHECK(k <= n);
   // Robert Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert
   // t unless already present, else insert j. Each k-subset is equally
   // likely.

@@ -7,7 +7,7 @@
 #ifndef MSV_UTIL_RANDOM_H_
 #define MSV_UTIL_RANDOM_H_
 
-#include <cassert>
+#include "util/logging.h"
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -50,7 +50,7 @@ class Pcg64 {
   /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
   /// method: unbiased and branch-cheap. bound must be > 0.
   uint64_t Below(uint64_t bound) {
-    assert(bound > 0);
+    MSV_DCHECK(bound > 0);
     unsigned __int128 product =
         static_cast<unsigned __int128>(Next()) * bound;
     uint64_t low = static_cast<uint64_t>(product);
@@ -66,7 +66,7 @@ class Pcg64 {
 
   /// Uniform integer in the closed interval [lo, hi].
   uint64_t InRange(uint64_t lo, uint64_t hi) {
-    assert(lo <= hi);
+    MSV_DCHECK(lo <= hi);
     return lo + Below(hi - lo + 1);
   }
 
@@ -131,7 +131,7 @@ class LazyShuffle {
 
   /// Next element of the permutation; must not be called when done().
   uint64_t Next(Pcg64* rng) {
-    assert(!done());
+    MSV_DCHECK(!done());
     uint64_t i = next_++;
     uint64_t j = i + rng->Below(n_ - i);
     uint64_t vi = ValueAt(i);

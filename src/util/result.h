@@ -5,10 +5,10 @@
 #ifndef MSV_UTIL_RESULT_H_
 #define MSV_UTIL_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace msv {
@@ -26,7 +26,7 @@ class [[nodiscard]] Result {
 
   /// Failure: wraps a non-OK status.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from an OK status");
+    MSV_DCHECK(!status_.ok() && "Result constructed from an OK status");
     if (status_.ok()) {
       status_ = Status::Internal("Result constructed from OK status");
     }
@@ -39,15 +39,15 @@ class [[nodiscard]] Result {
 
   /// Value accessors; must only be called when ok().
   T& value() & {
-    assert(ok());
+    MSV_DCHECK(ok());
     return *value_;
   }
   const T& value() const& {
-    assert(ok());
+    MSV_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    MSV_DCHECK(ok());
     return std::move(*value_);
   }
 

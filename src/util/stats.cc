@@ -1,13 +1,13 @@
 #include "util/stats.h"
 
-#include <cassert>
+#include "util/logging.h"
 
 namespace msv {
 namespace {
 
 // Acklam's rational approximation to the inverse standard normal CDF.
 double InverseNormalCdf(double p) {
-  assert(p > 0.0 && p < 1.0);
+  MSV_DCHECK(p > 0.0 && p < 1.0);
   static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                              -2.759285104469687e+02, 1.383577518672690e+02,
                              -3.066479806614716e+01, 2.506628277459239e+00};
@@ -45,7 +45,7 @@ double InverseNormalCdf(double p) {
 }  // namespace
 
 double NormalCriticalValue(double confidence) {
-  assert(confidence > 0.0 && confidence < 1.0);
+  MSV_DCHECK(confidence > 0.0 && confidence < 1.0);
   return InverseNormalCdf(0.5 + confidence / 2.0);
 }
 
@@ -65,11 +65,11 @@ double ChiSquarePValue(double statistic, uint64_t dof) {
 
 double ChiSquareStatistic(const std::vector<uint64_t>& observed,
                           const std::vector<double>& expected) {
-  assert(!observed.empty());
-  assert(observed.size() == expected.size());
+  MSV_DCHECK(!observed.empty());
+  MSV_DCHECK(observed.size() == expected.size());
   double stat = 0.0;
   for (size_t i = 0; i < observed.size(); ++i) {
-    assert(expected[i] > 0.0);
+    MSV_DCHECK(expected[i] > 0.0);
     double diff = static_cast<double>(observed[i]) - expected[i];
     stat += diff * diff / expected[i];
   }

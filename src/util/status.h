@@ -34,7 +34,11 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// Result of an operation that can fail. An OK status carries no payload
 /// and no allocation; error statuses carry a code and message.
-class Status {
+///
+/// Marked [[nodiscard]] (like Result<T>): a caller that drops a Status on
+/// the floor is almost always a bug. The rare deliberate ignore must spell
+/// out why, e.g. `status.IgnoreError();  // best-effort cleanup`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -104,6 +108,11 @@ class Status {
 
   /// "OK" or "<Code>: <message>"; suitable for logs and test failures.
   std::string ToString() const;
+
+  /// Explicitly discards this status. The only sanctioned way to ignore a
+  /// Status-returning call; the call site should say why in a comment
+  /// (best-effort cleanup, error already reported through another channel).
+  void IgnoreError() const noexcept {}
 
  private:
   struct Rep {

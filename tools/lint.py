@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""Repo lint runner: clang-tidy (when installed) plus MSV-custom rules.
+
+Usage:
+    tools/lint.py [--fix-none] [paths...]          # default: src tools
+    tools/lint.py --no-clang-tidy src tests
+    tools/lint.py --require-clang-tidy src         # CI: fail if missing
+
+Custom rules (things clang-tidy cannot express for this repo):
+
+  msv-status-nodiscard   class Status / class Result must carry
+                         [[nodiscard]] so ignored error returns are
+                         compile-time warnings everywhere.
+  msv-status-ignored     a Status must not be discarded by bolting
+                         `.ok();` onto a call statement or by a bare
+                         `(void)call(...);` cast. The sanctioned idiom is
+                         `status.IgnoreError();  // why` (see status.h).
+  msv-include-guard      headers use #ifndef MSV_<PATH>_H_ guards derived
+                         from their path (src/ stripped; tests/, bench/,
+                         tools/ kept), with the closing
+                         `#endif  // GUARD` comment.
+  msv-naked-new          no naked new/delete outside src/io: `new` only
+                         immediately wrapped in unique_ptr/shared_ptr or
+                         make_unique/make_shared; `delete` not at all.
+  msv-no-bare-assert     library code uses MSV_CHECK / MSV_DCHECK (which
+                         log the failing expression) instead of assert().
+
+A finding is suppressed by `// NOLINT` or `// NOLINT(<rule>)` on the
+same line. Exit code: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CC_EXTS = {".cc", ".cpp", ".cxx"}
+H_EXTS = {".h", ".hpp"}
+
+NOLINT_RE = re.compile(r"//\s*NOLINT(?:\((?P<rules>[^)]*)\))?")
+
+
+def is_suppressed(line: str, rule: str) -> bool:
+    m = NOLINT_RE.search(line)
+    if not m:
+        return False
+    rules = m.group("rules")
+    return rules is None or rule in rules
+
+
+class Finding:
+    def __init__(self, path: Path, line_no: int, rule: str, message: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        return f"{rel}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude but sufficient: drop // comments and string/char literals so
+    rule regexes do not fire on prose or formats."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+# --- msv-include-guard -----------------------------------------------------
+
+def expected_guard(path: Path) -> str:
+    rel = path.relative_to(REPO_ROOT)
+    parts = list(rel.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return f"MSV_{stem.upper()}_"  # foo.h -> MSV_..._FOO_H_
+
+
+def check_include_guard(path: Path, lines: list[str], findings: list[Finding]):
+    guard = expected_guard(path)
+    ifndef_re = re.compile(r"#ifndef\s+(\S+)")
+    found = None
+    for no, line in enumerate(lines, 1):
+        m = ifndef_re.search(line)
+        if m:
+            found = (no, m.group(1))
+            break
+    if found is None:
+        findings.append(Finding(path, 1, "msv-include-guard",
+                                f"missing include guard (expected {guard})"))
+        return
+    no, actual = found
+    if actual != guard:
+        if is_suppressed(lines[no - 1], "msv-include-guard"):
+            return
+        findings.append(Finding(path, no, "msv-include-guard",
+                                f"guard {actual} != expected {guard}"))
+        return
+    define_ok = any(re.search(rf"#define\s+{re.escape(guard)}\b", l)
+                    for l in lines[no - 1:no + 2])
+    if not define_ok:
+        findings.append(Finding(path, no, "msv-include-guard",
+                                f"#ifndef {guard} not followed by #define"))
+    endif_re = re.compile(rf"#endif\s*//\s*{re.escape(guard)}\s*$")
+    tail = [l for l in lines[-5:] if l.strip()]
+    if not any(endif_re.search(l) for l in tail):
+        findings.append(Finding(path, len(lines), "msv-include-guard",
+                                f"missing trailing '#endif  // {guard}'"))
+
+
+# --- msv-status-nodiscard --------------------------------------------------
+
+def check_status_nodiscard(findings: list[Finding]):
+    for rel, cls in (("src/util/status.h", "Status"),
+                     ("src/util/result.h", "Result")):
+        path = REPO_ROOT / rel
+        if not path.exists():
+            continue
+        text = path.read_text()
+        decl = re.search(rf"class\s+(\[\[nodiscard\]\]\s+)?{cls}\b", text)
+        if decl is None or decl.group(1) is None:
+            line_no = text[:decl.start()].count("\n") + 1 if decl else 1
+            findings.append(Finding(path, line_no, "msv-status-nodiscard",
+                                    f"class {cls} must be [[nodiscard]]"))
+
+
+# --- msv-status-ignored ----------------------------------------------------
+
+# A statement that ends in `.ok();` without consuming the bool: the
+# classic way to launder a [[nodiscard]] Status.
+OK_DISCARD_RE = re.compile(r"[\w\)\]]\s*\.\s*ok\s*\(\s*\)\s*;\s*$")
+OK_DISCARD_KEYWORD_RE = re.compile(r"^(return|if|while|for|do)\b")
+
+
+def is_ok_discard(line: str) -> bool:
+    s = line.strip()
+    if not OK_DISCARD_RE.search(s):
+        return False
+    # `bool b = f().ok();`, `x == f().ok();`, control flow, and stream
+    # output all consume the bool; a plain call statement does not.
+    return (OK_DISCARD_KEYWORD_RE.match(s) is None and "=" not in s
+            and "<<" not in s)
+# `(void)foo(...)` / `(void)obj->foo(...)`: discards a call result. Plain
+# `(void)identifier;` (unused-parameter silencing) stays legal.
+VOID_CALL_RE = re.compile(r"\(\s*void\s*\)\s*[\w:>.\->]+\s*\(")
+
+
+def check_status_ignored(path: Path, lines: list[str],
+                         findings: list[Finding]):
+    for no, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if is_ok_discard(line):
+            if not is_suppressed(raw, "msv-status-ignored"):
+                findings.append(Finding(
+                    path, no, "msv-status-ignored",
+                    "Status discarded via '.ok();' — use "
+                    "IgnoreError() with a justifying comment"))
+        elif VOID_CALL_RE.search(line):
+            if not is_suppressed(raw, "msv-status-ignored"):
+                findings.append(Finding(
+                    path, no, "msv-status-ignored",
+                    "call result discarded via '(void)' cast — if it "
+                    "returns Status, use IgnoreError(); otherwise NOLINT "
+                    "with a reason"))
+
+
+# --- msv-naked-new ---------------------------------------------------------
+
+NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_:<]")
+DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[A-Za-z_(*]")
+SMART_WRAP_RE = re.compile(r"unique_ptr|shared_ptr|make_unique|make_shared")
+
+
+def check_naked_new(path: Path, lines: list[str], findings: list[Finding]):
+    rel = path.relative_to(REPO_ROOT)
+    if rel.parts[:2] == ("src", "io"):
+        return  # the raw-I/O layer may manage memory manually
+    for no, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        prev = strip_comments_and_strings(lines[no - 2]) if no >= 2 else ""
+        if NEW_RE.search(line):
+            # `new X` is fine when the smart-pointer wrap is on the same
+            # or the preceding line (continuation of the wrap call).
+            if SMART_WRAP_RE.search(line) or SMART_WRAP_RE.search(prev):
+                continue
+            if is_suppressed(raw, "msv-naked-new"):
+                continue
+            findings.append(Finding(
+                path, no, "msv-naked-new",
+                "naked 'new' outside src/io — wrap in "
+                "unique_ptr/make_unique"))
+        if DELETE_RE.search(line) and "= delete" not in line:
+            if is_suppressed(raw, "msv-naked-new"):
+                continue
+            findings.append(Finding(
+                path, no, "msv-naked-new",
+                "naked 'delete' outside src/io — use owning smart "
+                "pointers"))
+
+
+# --- msv-no-bare-assert ----------------------------------------------------
+
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+
+
+def check_bare_assert(path: Path, lines: list[str], findings: list[Finding]):
+    rel = path.relative_to(REPO_ROOT)
+    if rel.parts[0] != "src":
+        return  # tests/bench may use gtest/assert freely
+    for no, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if ASSERT_RE.search(line) and "static_assert" not in line:
+            if is_suppressed(raw, "msv-no-bare-assert"):
+                continue
+            findings.append(Finding(
+                path, no, "msv-no-bare-assert",
+                "bare assert() — use MSV_CHECK/MSV_DCHECK so the failing "
+                "expression is logged (see util/logging.h)"))
+
+
+# --- clang-tidy ------------------------------------------------------------
+
+def run_clang_tidy(paths: list[Path], require: bool) -> int:
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        if require:
+            print("lint.py: clang-tidy not found but --require-clang-tidy "
+                  "is set; install clang-tidy or drop the flag",
+                  file=sys.stderr)
+            return 2
+        print("lint.py: clang-tidy not found; skipping clang-tidy checks",
+              file=sys.stderr)
+        return 0
+    build_dir = None
+    for cand in ("build", "build-dev", "build-ci", "build-asan-ubsan"):
+        if (REPO_ROOT / cand / "compile_commands.json").exists():
+            build_dir = REPO_ROOT / cand
+            break
+    if build_dir is None:
+        cfg = subprocess.run(
+            ["cmake", "-B", "build-dev", "-S", str(REPO_ROOT),
+             "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"],
+            cwd=REPO_ROOT, capture_output=True, text=True)
+        if cfg.returncode != 0:
+            print("lint.py: cmake configure for compile_commands failed:\n"
+                  + cfg.stderr, file=sys.stderr)
+            return 2 if require else 0
+        build_dir = REPO_ROOT / "build-dev"
+    sources = [p for p in paths if p.suffix in CC_EXTS]
+    if not sources:
+        return 0
+    cmd = [tidy, "-p", str(build_dir), "--quiet",
+           *[str(s) for s in sources]]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT)
+    return 1 if proc.returncode != 0 else 0
+
+
+# --- driver ----------------------------------------------------------------
+
+def collect_files(args_paths: list[str]) -> list[Path]:
+    roots = [REPO_ROOT / p for p in (args_paths or ["src", "tools"])]
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        if not root.is_dir():
+            print(f"lint.py: no such path: {root}", file=sys.stderr)
+            sys.exit(2)
+        for p in sorted(root.rglob("*")):
+            if p.suffix in CC_EXTS | H_EXTS and "sanitizers" not in p.parts:
+                files.append(p)
+    return files
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories (default: src tools)")
+    ap.add_argument("--no-clang-tidy", action="store_true",
+                    help="run only the MSV-custom rules")
+    ap.add_argument("--require-clang-tidy", action="store_true",
+                    help="fail (exit 2) when clang-tidy is unavailable")
+    args = ap.parse_args()
+
+    files = collect_files(args.paths)
+    findings: list[Finding] = []
+    check_status_nodiscard(findings)
+    for path in files:
+        lines = path.read_text().splitlines()
+        if path.suffix in H_EXTS:
+            check_include_guard(path, lines, findings)
+        check_status_ignored(path, lines, findings)
+        check_naked_new(path, lines, findings)
+        check_bare_assert(path, lines, findings)
+
+    for f in findings:
+        print(f)
+
+    tidy_rc = 0
+    if not args.no_clang_tidy:
+        tidy_rc = run_clang_tidy(files, args.require_clang_tidy)
+    if tidy_rc == 2:
+        return 2
+    if findings or tidy_rc:
+        print(f"lint.py: {len(findings)} custom-rule finding(s)"
+              + (", clang-tidy reported issues" if tidy_rc else ""),
+              file=sys.stderr)
+        return 1
+    print(f"lint.py: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

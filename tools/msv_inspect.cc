@@ -28,7 +28,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: msv_inspect <dir> stats|verify|histogram <file>\n"
-               "       msv_inspect <dir> leaf <file> <leaf-number>\n");
+               "       msv_inspect <dir> leaf <file> <leaf-number>\n"
+               "       (commands may also be spelled --verify etc.)\n");
   return 2;
 }
 
@@ -105,41 +106,15 @@ int CmdVerify(io::Env* env, const std::string& name) {
                  tree_or.status().ToString().c_str());
     return 1;
   }
-  const auto& tree = *tree_or.value();
-  uint64_t total = 0;
-  int bad = 0;
-  for (uint64_t leaf = 0; leaf < tree.meta().num_leaves; ++leaf) {
-    auto data = tree.ReadLeaf(leaf);  // checksum + header checks inside
-    if (!data.ok()) {
-      std::fprintf(stderr, "FAIL leaf %" PRIu64 ": %s\n", leaf,
-                   data.status().ToString().c_str());
-      ++bad;
-      continue;
-    }
-    total += data.value().TotalRecords();
-  }
-  // Internal-node counts must sum to the record total.
-  bool counts_ok = tree.NodeCount(1) == tree.meta().num_records;
-  for (uint64_t id = 1; id < tree.meta().num_leaves; ++id) {
-    if (tree.NodeCount(id) !=
-        tree.NodeCount(2 * id) + tree.NodeCount(2 * id + 1)) {
-      counts_ok = false;
-      std::fprintf(stderr, "FAIL counts at node %" PRIu64 "\n", id);
-    }
-  }
-  if (total != tree.meta().num_records) {
-    std::fprintf(stderr,
-                 "FAIL record total: leaves hold %" PRIu64 ", superblock "
-                 "claims %" PRIu64 "\n",
-                 total, tree.meta().num_records);
-    ++bad;
-  }
-  if (bad == 0 && counts_ok) {
-    std::printf("OK: %" PRIu64 " leaves, %" PRIu64
-                " records, all checksums and counts verified\n",
-                tree.meta().num_leaves, total);
+  // Full structural scrub: checksums, headers, directory geometry,
+  // split-tree counts, Lemma-1 disjointness, Lemma-2 section sizes and
+  // leaf-set partitioning (see AceTree::CheckInvariants).
+  core::InvariantReport report = tree_or.value()->CheckInvariants();
+  if (report.ok()) {
+    std::printf("%s\n", report.ToString().c_str());
     return 0;
   }
+  std::fprintf(stderr, "FAIL %s", report.ToString().c_str());
   return 1;
 }
 
@@ -190,6 +165,9 @@ int Main(int argc, char** argv) {
   if (argc < 4) return Usage();
   auto env = io::NewPosixEnv(argv[1]);
   std::string command = argv[2];
+  // Accept both spellings: `msv_inspect <dir> verify <file>` and
+  // `msv_inspect <dir> --verify <file>`.
+  if (command.rfind("--", 0) == 0) command = command.substr(2);
   std::string file = argv[3];
   if (command == "stats") return CmdStats(env.get(), file);
   if (command == "verify") return CmdVerify(env.get(), file);
