@@ -8,6 +8,7 @@
 
 #include "btree/ranked_btree.h"
 #include "core/ace_builder.h"
+#include "obs/metrics.h"
 #include "permuted/permuted_file.h"
 #include "relation/sale_generator.h"
 #include "rtree/rtree.h"
@@ -36,17 +37,16 @@ Flags::Flags(int argc, char** argv,
       std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
       std::exit(2);
     }
+    // `--key=value`, or bare `--key` as shorthand for `--key=1` (boolean
+    // flags such as --smoke).
     size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      std::fprintf(stderr, "expected --key=value: %s\n", arg.c_str());
-      std::exit(2);
-    }
-    std::string key = arg.substr(2, eq - 2);
+    std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
     if (values_.find(key) == values_.end()) {
       std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
       std::exit(2);
     }
-    values_[key] = arg.substr(eq + 1);
+    values_[key] = eq == std::string::npos ? "1" : arg.substr(eq + 1);
   }
 }
 
@@ -129,6 +129,18 @@ void WriteCsv(const std::string& name,
     out << "\n";
   }
   std::fprintf(stderr, "[wrote bench_results/%s]\n", name.c_str());
+}
+
+void WriteBenchJson(const std::string& name, const obs::Json& numbers) {
+  obs::Json record = obs::Json::Object();
+  record["bench"] = obs::Json(name);
+  record["numbers"] = numbers;
+  record["metrics"] = obs::MetricRegistry::Global().Snapshot().ToJson();
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  out << record.Dump(2) << "\n";
+  std::fprintf(stderr, "[wrote %s]\n", path.c_str());
 }
 
 void PrintTable(const std::string& title,

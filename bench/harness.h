@@ -31,6 +31,7 @@
 #include "io/buffer_pool.h"
 #include "io/disk_model.h"
 #include "io/env.h"
+#include "obs/json.h"
 #include "sampling/range_query.h"
 #include "sampling/sample_stream.h"
 #include "storage/record.h"
@@ -95,6 +96,13 @@ RunResult RunTimed(sampling::SampleStream* stream,
 void WriteCsv(const std::string& name,
               const std::vector<std::string>& header,
               const std::vector<std::vector<double>>& rows);
+
+/// Writes bench_results/BENCH_<name>.json: a self-describing record
+/// holding the bench's headline numbers plus a full dump of the process
+/// metrics registry, so CI can track the perf trajectory without
+/// scraping tables. The format round-trips through obs::Json::Parse
+/// (pinned by the obs golden test).
+void WriteBenchJson(const std::string& name, const obs::Json& numbers);
 
 /// Pretty-prints a table to stdout.
 void PrintTable(const std::string& title,

@@ -57,10 +57,14 @@ int RunSamplingRateBench(int argc, char** argv,
                {"seed", "42"},
                {"buffer_fraction", "0.05"},
                {"pull_records", "4"},
-               {"record_cpu_ms", "0.15"}});
+               {"record_cpu_ms", "0.15"},
+               {"smoke", "0"}});
+  // --smoke: CI-sized run (seconds, not minutes) that still exercises
+  // every competitor and emits the BENCH_*.json record.
+  const bool smoke = flags.GetInt("smoke") != 0;
 
   BenchEnv::Options options;
-  options.records = flags.GetInt("records");
+  options.records = smoke ? 100'000 : flags.GetInt("records");
   options.page_size = flags.GetInt("page");
   options.seed = flags.GetInt("seed");
   options.dims = config.dims;
@@ -78,7 +82,7 @@ int RunSamplingRateBench(int argc, char** argv,
   const double scan_ms = env.ScanMs();
   const double max_ms =
       config.to_completion ? 1e15 : scan_ms * config.max_x_pct / 100.0;
-  const size_t num_queries = flags.GetInt("queries");
+  const size_t num_queries = smoke ? 2 : flags.GetInt("queries");
   const size_t pull_records = flags.GetInt("pull_records");
   // One-record-at-a-time retrieval (Algorithm 1 and its R-tree analogue)
   // pays a per-draw CPU cost — a root-to-leaf descent plus page search —
@@ -214,6 +218,34 @@ int RunSamplingRateBench(int argc, char** argv,
 
   PrintTable(config.figure + ": " + config.caption, header, rows);
   WriteCsv(config.figure + ".csv", header, rows);
+
+  // Machine-readable record: headline numbers plus the full metrics
+  // registry (io.disk.*, io.pool.*, ace.* counters accumulated across
+  // all queries), for CI artifact tracking.
+  obs::Json numbers = obs::Json::Object();
+  numbers["records"] = obs::Json(options.records);
+  numbers["queries"] = obs::Json(static_cast<uint64_t>(queries.size()));
+  numbers["selectivity"] = obs::Json(config.selectivity);
+  numbers["dims"] = obs::Json(static_cast<uint64_t>(config.dims));
+  numbers["scan_ms"] = obs::Json(scan_ms);
+  numbers["smoke"] = obs::Json(smoke);
+  obs::Json per_method = obs::Json::Object();
+  const double last_x = checkpoints.back();
+  for (const auto& m : methods) {
+    obs::Json entry = obs::Json::Object();
+    entry["pct_records_at_last_checkpoint"] =
+        obs::Json(AggregateAt(m.series, last_x / 100.0 * scan_ms).mean / n *
+                  100.0);
+    double mean_completion = 0;
+    for (double ms : m.completion_ms) mean_completion += ms;
+    entry["mean_completion_ms"] =
+        obs::Json(mean_completion /
+                  static_cast<double>(m.completion_ms.size()));
+    entry["all_completed"] = obs::Json(m.all_completed);
+    per_method[m.name] = std::move(entry);
+  }
+  numbers["methods"] = std::move(per_method);
+  WriteBenchJson(config.figure, numbers);
 
   if (config.to_completion) {
     std::printf("\ncompletion time (%% of scan), averaged over queries:\n");

@@ -10,6 +10,7 @@
 
 #include "core/ace_format.h"
 #include "core/split_tree.h"
+#include "obs/trace.h"
 #include "storage/heap_file.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -235,6 +236,11 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
   local.height = height;
   local.leaves = num_leaves;
 
+  obs::Span build_span = obs::StartTraceSpan("ace.build");
+  build_span.AddAttr("records", num_records);
+  build_span.AddAttr("height", static_cast<uint64_t>(height));
+  build_span.AddAttr("leaves", num_leaves);
+
   // -------------------------------------------------------------------
   // Phase 1: split points.
   // -------------------------------------------------------------------
@@ -242,15 +248,18 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
   Box root_box;
   std::string phase2_input = input_name;
   std::string phase1_file;  // to delete later
-  if (options.key_dims == 1) {
-    MSV_ASSIGN_OR_RETURN(
-        phase1_file,
-        Phase1OneDim(env, input_name, output_name, layout, options, height,
-                     num_records, &nodes, &root_box, &local.phase1_sort));
-    phase2_input = phase1_file;  // same multiset; saves re-reading input
-  } else {
-    MSV_RETURN_IF_ERROR(Phase1MultiDim(env, input_name, layout, options,
-                                       height, &nodes, &root_box));
+  {
+    obs::Span span = obs::StartTraceSpan("ace.build.phase1");
+    if (options.key_dims == 1) {
+      MSV_ASSIGN_OR_RETURN(
+          phase1_file,
+          Phase1OneDim(env, input_name, output_name, layout, options, height,
+                       num_records, &nodes, &root_box, &local.phase1_sort));
+      phase2_input = phase1_file;  // same multiset; saves re-reading input
+    } else {
+      MSV_RETURN_IF_ERROR(Phase1MultiDim(env, input_name, layout, options,
+                                         height, &nodes, &root_box));
+    }
   }
 
   SplitTree splits(height, options.key_dims, std::move(nodes), root_box);
@@ -262,6 +271,7 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
   const size_t tagged_size = record_size + 8;
   std::vector<uint64_t> cell_counts(num_leaves, 0);
   {
+    obs::Span span = obs::StartTraceSpan("ace.build.phase2a");
     MSV_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> in,
                          HeapFile::Open(env, phase2_input));
     MSV_ASSIGN_OR_RETURN(
@@ -297,6 +307,7 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
   // -------------------------------------------------------------------
   const std::string placed_name = output_name + ".placed";
   {
+    obs::Span span = obs::StartTraceSpan("ace.build.phase2b");
     extsort::SortOptions sort_options = options.sort;
     sort_options.temp_prefix = output_name + ".p2run";
     MSV_RETURN_IF_ERROR(extsort::ExternalSort(
@@ -314,6 +325,7 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
   // Phase 2c: stream sorted records into leaf nodes + directory; then
   // write internal nodes and superblock.
   // -------------------------------------------------------------------
+  obs::Span phase2c_span = obs::StartTraceSpan("ace.build.phase2c");
   AceMeta meta;
   meta.page_size = options.page_size;
   meta.record_size = record_size;
@@ -421,6 +433,7 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
     MSV_RETURN_IF_ERROR(out->Write(0, super, sizeof(super)));
     MSV_RETURN_IF_ERROR(out->Sync());
   }
+  phase2c_span.End();
 
   local.overhead_bytes = meta.data_offset + num_leaves * leaf_header -
                          0;  // region headers + per-leaf headers

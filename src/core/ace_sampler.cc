@@ -1,5 +1,8 @@
 #include "core/ace_sampler.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/logging.h"
 
 namespace msv::core {
@@ -25,6 +28,63 @@ AceSampler::AceSampler(const AceTree* tree, sampling::RangeQuery query,
     for (uint64_t id : level_nodes) overlaps_[id] = 1;
   }
   finished_ = overlaps_[1] == 0;  // query misses the whole domain
+
+  level_disk_us_.assign(tree_->meta().height, 0);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  c_leaf_reads_ = reg.GetCounter("ace.leaf_reads");
+  c_samples_ = reg.GetCounter("ace.samples_emitted");
+  c_disk_busy_ = reg.GetCounter("io.disk.busy_us");
+  span_ = obs::StartTraceSpan(name() + ".sample");
+  span_.AddAttr("leaves", num_leaves);
+  span_.AddAttr("height", static_cast<uint64_t>(tree_->meta().height));
+}
+
+AceSampler::~AceSampler() { EmitLevelSpans(); }
+
+void AceSampler::ApportionDiskUs(uint64_t delta_us, const LeafData& leaf) {
+  const uint32_t h = tree_->meta().height;
+  uint64_t total_bytes = 0;
+  for (const std::string& s : leaf.sections) total_bytes += s.size();
+  if (total_bytes == 0 || h == 0) {
+    if (h > 0) level_disk_us_[0] += delta_us;
+    return;
+  }
+  // Largest-remainder split: integer shares proportional to section
+  // bytes whose sum is exactly delta_us.
+  uint64_t assigned = 0;
+  std::vector<std::pair<uint64_t, uint32_t>> remainders;  // (remainder, level-1)
+  remainders.reserve(h);
+  for (uint32_t i = 0; i < h; ++i) {
+    uint64_t numer = delta_us * leaf.sections[i].size();
+    level_disk_us_[i] += numer / total_bytes;
+    assigned += numer / total_bytes;
+    remainders.emplace_back(numer % total_bytes, i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (uint64_t r = delta_us - assigned, i = 0; r > 0; --r, ++i) {
+    ++level_disk_us_[remainders[i % remainders.size()].second];
+  }
+}
+
+void AceSampler::EmitLevelSpans() {
+  if (level_spans_emitted_) return;
+  level_spans_emitted_ = true;
+  if (!span_.active()) return;
+  for (uint32_t level = 1; level <= tree_->meta().height; ++level) {
+    obs::Span s = obs::StartTraceSpan("ace.level");
+    s.AddAttr("level", static_cast<uint64_t>(level));
+    s.AddMetric("disk_us", static_cast<double>(level_disk_us_[level - 1]));
+    s.AddMetric("sections_read", static_cast<double>(leaves_read_));
+    s.AddMetric("rounds", static_cast<double>(combiner_->rounds(level)));
+    s.AddMetric("samples", static_cast<double>(combiner_->emitted(level)));
+  }
+  span_.AddAttr("leaves_read", leaves_read_);
+  span_.AddAttr("samples", returned_);
+  span_.End();
 }
 
 Status AceSampler::Stab(sampling::SampleBatch* out) {
@@ -65,9 +125,12 @@ Status AceSampler::Stab(sampling::SampleBatch* out) {
   }
 
   // Leaf reached: retrieve and combine.
+  uint64_t busy_before = c_disk_busy_->Value();
   MSV_ASSIGN_OR_RETURN(LeafData leaf,
                        tree_->ReadLeaf(tree_->splits().LeafIndexOf(id)));
+  ApportionDiskUs(c_disk_busy_->Value() - busy_before, leaf);
   ++leaves_read_;
+  c_leaf_reads_->Add();
   leaf_read_order_.push_back(tree_->splits().LeafIndexOf(id));
   combiner_->AddLeaf(id, leaf, out, &rng_);
   done_[id] = 1;
@@ -98,6 +161,8 @@ Result<sampling::SampleBatch> AceSampler::NextBatch() {
   if (finished_) return batch;
   MSV_RETURN_IF_ERROR(Stab(&batch));
   returned_ += batch.count();
+  c_samples_->Add(batch.count());
+  if (finished_) EmitLevelSpans();
   return batch;
 }
 

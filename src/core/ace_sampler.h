@@ -20,6 +20,8 @@
 
 #include "core/ace_tree.h"
 #include "core/combine_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/sample_stream.h"
 #include "util/random.h"
 
@@ -31,6 +33,7 @@ class AceSampler : public sampling::SampleStream {
   /// which records are returned when is fully determined by the tree
   /// contents and the deterministic stab order.
   AceSampler(const AceTree* tree, sampling::RangeQuery query, uint64_t seed);
+  ~AceSampler() override;
 
   Result<sampling::SampleBatch> NextBatch() override;
   bool done() const override { return finished_; }
@@ -49,9 +52,27 @@ class AceSampler : public sampling::SampleStream {
     return leaf_read_order_;
   }
 
+  /// Simulated disk microseconds attributed to section level `level`
+  /// (1-based). Each leaf read's io.disk.busy_us delta is apportioned
+  /// across the leaf's section levels proportionally to section bytes
+  /// with a largest-remainder split, so
+  ///   sum_level level_disk_us(level) == total busy_us of all leaf reads
+  /// holds exactly (asserted by the trace end-to-end test).
+  uint64_t level_disk_us(uint32_t level) const {
+    return level_disk_us_[level - 1];
+  }
+
  private:
   /// One stab; appends emitted samples to `out`.
   Status Stab(sampling::SampleBatch* out);
+
+  /// Splits one leaf read's disk-µs delta across section levels.
+  void ApportionDiskUs(uint64_t delta_us, const LeafData& leaf);
+
+  /// Closes out the trace: one child span per section level carrying the
+  /// level's leaf-section visits, emitted samples and disk µs. Runs once,
+  /// when the stream completes or the sampler is destroyed early.
+  void EmitLevelSpans();
 
   const AceTree* tree_;
   sampling::RangeQuery query_;
@@ -67,6 +88,15 @@ class AceSampler : public sampling::SampleStream {
   uint64_t leaves_read_ = 0;
   std::vector<uint64_t> leaf_read_order_;
   bool finished_ = false;
+
+  /// Per-level (index level-1) disk-µs attribution; see level_disk_us().
+  std::vector<uint64_t> level_disk_us_;
+  obs::Counter* c_leaf_reads_;
+  obs::Counter* c_samples_;
+  obs::Counter* c_disk_busy_;
+  /// Open for the sampler's whole lifetime; level spans nest under it.
+  obs::Span span_;
+  bool level_spans_emitted_ = false;
 };
 
 }  // namespace msv::core

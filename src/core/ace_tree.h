@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ace_format.h"
@@ -84,6 +85,12 @@ struct InvariantReport {
   uint64_t sections_checked = 0;
   /// True when max_violations cut the scan short.
   bool truncated = false;
+  /// Wall-clock duration of each verification phase (geometry,
+  /// split_tree, leaf_scan, totals) in execution order, microseconds.
+  /// Each phase is also published as a `verify.<phase>_us` counter in
+  /// the global metrics registry, so `msv_inspect --verify` can surface
+  /// slow checks on large trees.
+  std::vector<std::pair<std::string, uint64_t>> check_us;
 
   bool ok() const { return violations.empty(); }
   /// OK when clean; otherwise the first violation's code and a summary.

@@ -21,12 +21,14 @@
 // The pass reads every leaf exactly once and is meant to be cheap enough
 // to run after every bulk build in tests and via `msv_inspect --verify`.
 
+#include <chrono>
 #include <cmath>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "core/ace_tree.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace msv::core {
@@ -84,6 +86,31 @@ class ViolationSink {
   size_t cap_;
 };
 
+/// Stamps the duration of each verification phase into the report and
+/// into `verify.<phase>_us` registry counters (Finish resets the clock,
+/// so phases are measured back to back).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(InvariantReport* report)
+      : report_(report), start_(std::chrono::steady_clock::now()) {}
+
+  void Finish(const char* phase) {
+    const auto now = std::chrono::steady_clock::now();
+    const uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - start_)
+            .count());
+    report_->check_us.emplace_back(phase, us);
+    obs::MetricRegistry::Global()
+        .GetCounter(std::string("verify.") + phase + "_us")
+        ->Add(us);
+    start_ = now;
+  }
+
+ private:
+  InvariantReport* report_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 std::string InvariantViolation::ToString() const {
@@ -123,6 +150,7 @@ InvariantReport AceTree::CheckInvariants(
     const InvariantCheckOptions& options) const {
   InvariantReport report;
   ViolationSink sink(&report, options.max_violations);
+  PhaseTimer timer(&report);
   const uint64_t F = meta_.num_leaves;
   const uint32_t h = meta_.height;
 
@@ -132,6 +160,7 @@ InvariantReport AceTree::CheckInvariants(
     sink.Add(StatusCode::kCorruption, InvariantViolation::kNoLeaf,
              "geometry: num_leaves " + std::to_string(F) +
                  " != 2^(h-1) for height " + std::to_string(h));
+    timer.Finish("geometry");
     return report;  // nothing below is meaningful with broken geometry
   }
   const uint64_t internal_end =
@@ -158,6 +187,7 @@ InvariantReport AceTree::CheckInvariants(
                    std::to_string(loc.length));
     }
   }
+  timer.Finish("geometry");
 
   // --- Split tree: dimensions, split keys inside their box, counts
   // summing parent = left + right down the heap.
@@ -204,6 +234,7 @@ InvariantReport AceTree::CheckInvariants(
           {2 * item.id + 1, splits_->ChildBox(item.box, item.id, false)});
     }
   }
+  timer.Finish("split_tree");
 
   // --- Leaf scan: checksums, headers, partitioning, Lemma 1/2.
   std::vector<uint64_t> cell_counts(options.check_cell_counts ? F : 0, 0);
@@ -290,6 +321,7 @@ InvariantReport AceTree::CheckInvariants(
       }
     }
   }
+  timer.Finish("leaf_scan");
 
   // --- Global totals: leaves must hold exactly the superblock's record
   // count, and recounted finest cells must match the persisted counts.
@@ -310,6 +342,7 @@ InvariantReport AceTree::CheckInvariants(
       }
     }
   }
+  timer.Finish("totals");
   return report;
 }
 

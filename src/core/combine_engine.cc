@@ -78,6 +78,7 @@ void CombineEngine::AddLeaf(uint64_t leaf_heap_id, const LeafData& leaf,
       }
       buffered_ -= round.size() / record_size_;
       ++state.rounds;
+      state.emitted += round.size() / record_size_;
       EmitShuffled(std::move(round), out, rng);
     }
   }
@@ -86,12 +87,15 @@ void CombineEngine::AddLeaf(uint64_t leaf_heap_id, const LeafData& leaf,
 void CombineEngine::Flush(sampling::SampleBatch* out, Pcg64* rng) {
   std::string rest;
   for (LevelState& state : levels_) {
+    size_t level_bytes = 0;
     for (std::deque<std::string>& q : state.queues) {
       while (!q.empty()) {
+        level_bytes += q.front().size();
         rest += q.front();
         q.pop_front();
       }
     }
+    state.emitted += level_bytes / record_size_;
     state.nonempty = 0;
   }
   buffered_ = 0;

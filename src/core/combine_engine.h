@@ -59,6 +59,10 @@ class CombineEngine {
   /// Completed combine rounds at section level `level` (1-based).
   uint64_t rounds(uint32_t level) const { return levels_[level - 1].rounds; }
 
+  /// Records emitted from section level `level` (1-based), including the
+  /// final flush. Drives the per-level sample-progress trace spans.
+  uint64_t emitted(uint32_t level) const { return levels_[level - 1].emitted; }
+
  private:
   struct LevelState {
     /// queue index by covering-node heap id.
@@ -67,6 +71,7 @@ class CombineEngine {
     std::vector<std::deque<std::string>> queues;
     size_t nonempty = 0;
     uint64_t rounds = 0;
+    uint64_t emitted = 0;  ///< records emitted from this level
   };
 
   void EmitShuffled(std::string&& records, sampling::SampleBatch* out,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace msv::core {
@@ -69,6 +70,8 @@ Result<sampling::SampleBatch> ViewSampler::NextBatch() {
     ++emitted;
     ++returned_;
   }
+  obs::MetricRegistry::Global().GetCounter("view.samples_emitted")
+      ->Add(emitted);
   return batch;
 }
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "extsort/loser_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/heap_file.h"
 #include "util/logging.h"
 
@@ -156,17 +158,28 @@ Status ExternalSort(io::Env* env, const std::string& input_name,
     return Status::OK();
   }
 
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  reg.GetCounter("extsort.records")->Add(local.records);
+
   uint64_t next_run_id = 0;
-  MSV_ASSIGN_OR_RETURN(std::vector<std::string> runs,
-                       FormRuns(env, *input, less, options, &next_run_id));
+  std::vector<std::string> runs;
+  {
+    obs::Span span = obs::StartTraceSpan("extsort.form_runs");
+    MSV_ASSIGN_OR_RETURN(
+        runs, FormRuns(env, *input, less, options, &next_run_id));
+    span.AddAttr("runs", static_cast<uint64_t>(runs.size()));
+  }
   input.reset();
   local.initial_runs = runs.size();
   local.run_files_written = runs.size();
+  reg.GetCounter("extsort.runs")->Add(runs.size());
 
   // Merge passes until at most max_fanin runs remain, then one final merge
   // into the output.
   std::vector<std::string> to_delete = runs;
   while (runs.size() > options.max_fanin) {
+    obs::Span span = obs::StartTraceSpan("extsort.merge_pass");
+    span.AddAttr("inputs", static_cast<uint64_t>(runs.size()));
     std::vector<std::string> next;
     for (size_t i = 0; i < runs.size(); i += options.max_fanin) {
       size_t end = std::min(runs.size(), i + options.max_fanin);
@@ -181,8 +194,13 @@ Status ExternalSort(io::Env* env, const std::string& input_name,
     ++local.merge_passes;
   }
 
-  MSV_RETURN_IF_ERROR(MergeRuns(env, runs, output_name, less, options));
+  {
+    obs::Span span = obs::StartTraceSpan("extsort.final_merge");
+    span.AddAttr("inputs", static_cast<uint64_t>(runs.size()));
+    MSV_RETURN_IF_ERROR(MergeRuns(env, runs, output_name, less, options));
+  }
   ++local.merge_passes;
+  reg.GetCounter("extsort.merge_passes")->Add(local.merge_passes);
 
   for (const std::string& name : to_delete) {
     // Best-effort cleanup; a failure to delete a temp run is not a sort

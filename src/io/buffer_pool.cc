@@ -30,6 +30,15 @@ BufferPool::BufferPool(size_t page_size, size_t capacity_pages)
   MSV_CHECK(capacity_ > 0);
   frames_.resize(capacity_);
   map_.reserve(capacity_ * 2);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  c_hits_ = reg.GetCounter("io.pool.hits");
+  c_misses_ = reg.GetCounter("io.pool.misses");
+  c_evictions_ = reg.GetCounter("io.pool.evictions");
+}
+
+void BufferPool::ResetStats() {
+  baseline_ = totals_;
+  obs::MetricRegistry::Global().BeginEpoch();
 }
 
 void BufferPool::Unpin(size_t frame) {
@@ -63,18 +72,21 @@ Result<PageRef> BufferPool::Get(File* file, uint64_t file_id,
   auto it = map_.find(key);
   if (it != map_.end()) {
     Frame& f = frames_[it->second];
-    ++stats_.hits;
+    ++totals_.hits;
+    c_hits_->Add();
     f.tick = ++tick_;
     ++f.pins;
     return PageRef(this, it->second, f.data.data(), f.length);
   }
 
-  ++stats_.misses;
+  ++totals_.misses;
+  c_misses_->Add();
   MSV_ASSIGN_OR_RETURN(size_t frame_idx, FindVictim());
   Frame& f = frames_[frame_idx];
   if (f.valid) {
     map_.erase(Key{f.file_id, f.page_no});
-    ++stats_.evictions;
+    ++totals_.evictions;
+    c_evictions_->Add();
     f.valid = false;
   }
   if (f.data.size() != page_size_) f.data.resize(page_size_);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "io/env.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace msv::io {
@@ -29,6 +30,11 @@ struct BufferPoolStats {
     uint64_t total = hits + misses;
     return total ? static_cast<double>(hits) / static_cast<double>(total)
                  : 0.0;
+  }
+
+  BufferPoolStats operator-(const BufferPoolStats& b) const {
+    return BufferPoolStats{hits - b.hits, misses - b.misses,
+                           evictions - b.evictions};
   }
 };
 
@@ -77,8 +83,15 @@ class BufferPool {
 
   size_t page_size() const { return page_size_; }
   size_t capacity() const { return capacity_; }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  /// Counters since the last ResetStats() (delta against the baseline).
+  BufferPoolStats stats() const { return totals_ - baseline_; }
+  /// Counters since pool construction; never reset.
+  const BufferPoolStats& total_stats() const { return totals_; }
+
+  /// Starts a new stats epoch: snapshots the baseline instead of zeroing
+  /// (resets can no longer discard concurrent increments) and advances
+  /// the global registry epoch in step.
+  void ResetStats();
 
   /// Number of frames currently holding a page.
   size_t resident_pages() const { return map_.size(); }
@@ -117,8 +130,14 @@ class BufferPool {
   size_t capacity_;
   std::vector<Frame> frames_;
   std::unordered_map<Key, size_t, KeyHash> map_;
-  BufferPoolStats stats_;
+  BufferPoolStats totals_;
+  BufferPoolStats baseline_;
   uint64_t tick_ = 0;
+
+  // Registry series shared by every pool (process-wide totals).
+  obs::Counter* c_hits_;
+  obs::Counter* c_misses_;
+  obs::Counter* c_evictions_;
 };
 
 }  // namespace msv::io

@@ -1,5 +1,6 @@
 #include "io/disk_model.h"
 
+#include <cmath>
 #include <map>
 #include <mutex>
 
@@ -19,6 +20,15 @@ Status DiskModelOptions::Validate() const {
 
 DiskDevice::DiskDevice(DiskModelOptions options) : options_(options) {
   MSV_CHECK_MSG(options_.Validate().ok(), "invalid DiskModelOptions");
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  c_reads_ = reg.GetCounter("io.disk.reads");
+  c_writes_ = reg.GetCounter("io.disk.writes");
+  c_read_bytes_ = reg.GetCounter("io.disk.read_bytes");
+  c_written_bytes_ = reg.GetCounter("io.disk.written_bytes");
+  c_seeks_ = reg.GetCounter("io.disk.seeks");
+  c_sequential_ = reg.GetCounter("io.disk.sequential_ios");
+  c_busy_us_ = reg.GetCounter("io.disk.busy_us");
+  h_access_us_ = reg.GetHistogram("io.disk.access_us");
 }
 
 void DiskDevice::Access(uint64_t pos, uint64_t len, bool is_write) {
@@ -26,21 +36,38 @@ void DiskDevice::Access(uint64_t pos, uint64_t len, bool is_write) {
   bool sequential = head_valid_ && pos == head_pos_;
   if (!sequential) {
     ms += options_.seek_ms + options_.rotational_ms;
-    ++stats_.seeks;
+    ++totals_.seeks;
+    c_seeks_->Add();
   } else {
-    ++stats_.sequential_ios;
+    ++totals_.sequential_ios;
+    c_sequential_->Add();
   }
   ms += static_cast<double>(len) / (options_.transfer_mb_per_s * 1e6) * 1e3;
   clock_.AdvanceMs(ms);
+  // One rounding, shared by the struct total, the registry counter and
+  // the latency histogram, so all three views agree to the microsecond.
+  uint64_t us = static_cast<uint64_t>(std::llround(ms * 1000.0));
+  totals_.busy_us += us;
+  c_busy_us_->Add(us);
+  h_access_us_->Record(us);
   head_pos_ = pos + len;
   head_valid_ = true;
   if (is_write) {
-    ++stats_.writes;
-    stats_.written_bytes += len;
+    ++totals_.writes;
+    totals_.written_bytes += len;
+    c_writes_->Add();
+    c_written_bytes_->Add(len);
   } else {
-    ++stats_.reads;
-    stats_.read_bytes += len;
+    ++totals_.reads;
+    totals_.read_bytes += len;
+    c_reads_->Add();
+    c_read_bytes_->Add(len);
   }
+}
+
+void DiskDevice::ResetStats() {
+  baseline_ = totals_;
+  obs::MetricRegistry::Global().BeginEpoch();
 }
 
 double DiskDevice::SequentialScanMs(uint64_t bytes) const {

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "io/env.h"
+#include "obs/metrics.h"
 
 namespace msv::io {
 
@@ -63,10 +64,28 @@ struct DiskStats {
   uint64_t written_bytes = 0;
   uint64_t seeks = 0;           ///< discontiguous accesses (paid seek+rot)
   uint64_t sequential_ios = 0;  ///< contiguous accesses (transfer only)
+  /// Total modeled device-busy time in integer microseconds. Accumulated
+  /// per access with the same rounding as the io.disk.busy_us registry
+  /// counter, so struct totals and traced span deltas compare exactly.
+  uint64_t busy_us = 0;
+
+  DiskStats operator-(const DiskStats& b) const {
+    return DiskStats{reads - b.reads,
+                     writes - b.writes,
+                     read_bytes - b.read_bytes,
+                     written_bytes - b.written_bytes,
+                     seeks - b.seeks,
+                     sequential_ios - b.sequential_ios,
+                     busy_us - b.busy_us};
+  }
 };
 
 /// One simulated disk: a clock, a head position, and stats. Every file
 /// opened through a SimEnv bound to this device charges time here.
+///
+/// Every access is also published to the process-wide metric registry
+/// (io.disk.* counters, io.disk.access_us histogram), which is what the
+/// tracer and the exporters read.
 class DiskDevice {
  public:
   explicit DiskDevice(DiskModelOptions options = {});
@@ -81,17 +100,36 @@ class DiskDevice {
 
   SimClock& clock() { return clock_; }
   const SimClock& clock() const { return clock_; }
-  const DiskStats& stats() const { return stats_; }
+  /// Counters accumulated since the last ResetStats() (member-wise delta
+  /// against the reset baseline).
+  DiskStats stats() const { return totals_ - baseline_; }
+  /// Counters since device construction; never reset.
+  const DiskStats& total_stats() const { return totals_; }
   const DiskModelOptions& options() const { return options_; }
 
-  void ResetStats() { stats_ = DiskStats(); }
+  /// Starts a new stats epoch. Totals stay monotone — the baseline is
+  /// snapshotted instead of zeroing anything, so increments concurrent
+  /// with the reset are never discarded (the old `stats_ = DiskStats()`
+  /// footgun), and the global registry epoch is advanced in step.
+  void ResetStats();
 
  private:
   DiskModelOptions options_;
   SimClock clock_;
-  DiskStats stats_;
+  DiskStats totals_;
+  DiskStats baseline_;
   uint64_t head_pos_ = 0;
   bool head_valid_ = false;
+
+  // Registry series shared by every DiskDevice (process-wide totals).
+  obs::Counter* c_reads_;
+  obs::Counter* c_writes_;
+  obs::Counter* c_read_bytes_;
+  obs::Counter* c_written_bytes_;
+  obs::Counter* c_seeks_;
+  obs::Counter* c_sequential_;
+  obs::Counter* c_busy_us_;
+  obs::LogHistogram* h_access_us_;
 };
 
 /// An Env decorator: files opened through it behave exactly like the inner

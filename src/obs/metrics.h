@@ -1,0 +1,172 @@
+// Process-wide metrics registry: named counters, gauges and log-linear
+// histograms that every subsystem publishes into and every tool exports
+// from (msv_inspect --metrics, bench BENCH_*.json records, trace spans).
+//
+// Hot-path cost model: a registered Counter* is fetched once (mutex under
+// the registration map) and then bumped with a relaxed atomic add — cheap
+// enough for per-I/O instrumentation. Histograms use atomic bucket
+// counters; snapshot/export paths copy counts and reuse the shared
+// bucket math from util/histogram (one implementation, two facades).
+//
+// Resets are epoch-based: metrics are monotone for the lifetime of the
+// process, and BeginEpoch() only records per-counter baselines. A
+// snapshot therefore always carries both the cumulative total and the
+// delta since the last epoch — concurrent increments are never silently
+// discarded the way the old per-struct ResetStats() did.
+
+#ifndef MSV_OBS_METRICS_H_
+#define MSV_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/histogram.h"
+
+namespace msv::obs {
+
+/// Monotone event counter. Relaxed increments; safe from any thread.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-linear histogram over non-negative integer values (microseconds,
+/// bytes, counts): one cell for [0,1), then every power-of-two octave
+/// split into kSubBuckets equal cells, up to 2^kMaxOctave. Concurrent
+/// Record() calls are safe; snapshots are per-cell consistent.
+class LogHistogram {
+ public:
+  static constexpr unsigned kMaxOctave = 40;  // ~1.1e12: µs > 12 days, TB sizes
+  static constexpr unsigned kSubBuckets = 4;  // <= 25% relative cell width
+
+  LogHistogram();
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+  }
+
+  /// Interpolated quantile/percentiles via the shared bucket math.
+  double Quantile(double q) const;
+  double Percentile(double p) const { return Quantile(p / 100.0); }
+  double P50() const { return Percentile(50); }
+  double P95() const { return Percentile(95); }
+  double P99() const { return Percentile(99); }
+
+  std::string ToString() const;
+
+ private:
+  const std::vector<double>& edges() const;
+
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> overflow_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One counter's view inside a snapshot.
+struct CounterSample {
+  std::string name;
+  uint64_t total = 0;        ///< since process start
+  uint64_t since_epoch = 0;  ///< since the last BeginEpoch()
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// A consistent-enough view of the registry: every metric sampled once,
+/// in sorted name order, under the registration lock.
+struct MetricsSnapshot {
+  uint64_t epoch = 0;
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Prometheus-flavoured text: one `name value [delta]` line per metric.
+  std::string ToText() const;
+  Json ToJson() const;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry every subsystem publishes into by default.
+  static MetricRegistry& Global();
+
+  /// Returns the metric registered under `name`, creating it on first
+  /// use. Pointers are stable for the registry's lifetime. Registering
+  /// the same name as two different metric kinds is a programming error.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LogHistogram* GetHistogram(const std::string& name);
+
+  /// Canonical labelled-series name: "name{k1=v1,k2=v2}".
+  static std::string Labeled(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& labels);
+
+  /// Starts a new stats epoch: records every counter's current value as
+  /// the epoch baseline. Never zeroes anything — cumulative totals stay
+  /// monotone, so resets cannot discard concurrent increments.
+  void BeginEpoch();
+  uint64_t epoch() const;
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Counter list for trace-span delta capture: (name, counter) pairs in
+  /// sorted name order. `version()` changes whenever a metric is
+  /// registered, so callers can cache the list.
+  uint64_t version() const;
+  void ListCounters(std::vector<std::pair<std::string, Counter*>>* out) const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t version_ = 0;
+  uint64_t epoch_ = 0;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, uint64_t> counter_baselines_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace msv::obs
+
+#endif  // MSV_OBS_METRICS_H_

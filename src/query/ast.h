@@ -3,6 +3,7 @@
 #ifndef MSV_QUERY_AST_H_
 #define MSV_QUERY_AST_H_
 
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -73,9 +74,21 @@ struct ShowStmt {
   bool views = true;  // false -> tables
 };
 
+struct ExplainStmt;
+
 using Statement =
     std::variant<GenerateTableStmt, CreateViewStmt, SampleStmt, EstimateStmt,
-                 InsertStmt, RebuildStmt, DropViewStmt, ShowStmt>;
+                 InsertStmt, RebuildStmt, DropViewStmt, ShowStmt, ExplainStmt>;
+
+/// EXPLAIN <stmt>;          plan summary, nothing executed.
+/// EXPLAIN ANALYZE <stmt>;  executes under a tracer and appends the
+///                          per-span I/O-cost report to the output.
+struct ExplainStmt {
+  bool analyze = false;
+  /// The explained statement (never itself an EXPLAIN). shared_ptr to
+  /// break the variant's self-reference; never null after parsing.
+  std::shared_ptr<Statement> inner;
+};
 
 }  // namespace msv::query
 

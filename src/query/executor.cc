@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "relation/sale_generator.h"
 #include "sampling/grouped_aggregator.h"
@@ -22,6 +25,50 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+const char* StatementName(const Statement& statement) {
+  return std::visit(
+      [](const auto& stmt) -> const char* {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, GenerateTableStmt>) {
+          return "generate";
+        } else if constexpr (std::is_same_v<T, CreateViewStmt>) {
+          return "create_view";
+        } else if constexpr (std::is_same_v<T, SampleStmt>) {
+          return "sample";
+        } else if constexpr (std::is_same_v<T, EstimateStmt>) {
+          return "estimate";
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return "insert";
+        } else if constexpr (std::is_same_v<T, RebuildStmt>) {
+          return "rebuild";
+        } else if constexpr (std::is_same_v<T, DropViewStmt>) {
+          return "drop_view";
+        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          return "explain";
+        } else {
+          return "show";
+        }
+      },
+      statement);
+}
+
+std::string DescribeQuery(const ViewInfo& info,
+                          const sampling::RangeQuery& query) {
+  std::ostringstream out;
+  bool any = false;
+  for (size_t d = 0; d < info.index_columns.size(); ++d) {
+    if (std::isinf(query.bounds[d].lo) && std::isinf(query.bounds[d].hi)) {
+      continue;
+    }
+    out << (any ? " AND " : "") << info.index_columns[d] << " in ["
+        << FormatDouble(query.bounds[d].lo) << ", "
+        << FormatDouble(query.bounds[d].hi) << "]";
+    any = true;
+  }
+  if (!any) out << "(unbounded)";
+  return out.str();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Executor>> Executor::Open(
@@ -33,15 +80,37 @@ Result<std::unique_ptr<Executor>> Executor::Open(
 
 Result<std::string> Executor::Run(const std::string& script) {
   MSV_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parse(script));
+
+  // MSV_TRACE=path.json traces every statement of the script and appends
+  // one JSON trace document to the file, even without EXPLAIN ANALYZE.
+  // (Skipped when a tracer is already installed, e.g. by a test harness.)
+  const bool want_trace = std::getenv("MSV_TRACE") != nullptr &&
+                          obs::Tracer::Active() == nullptr;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::ScopedTracer> scoped;
+  if (want_trace) {
+    tracer = std::make_unique<obs::Tracer>();
+    scoped = std::make_unique<obs::ScopedTracer>(tracer.get());
+  }
+
   std::string out;
   for (const Statement& statement : statements) {
     MSV_ASSIGN_OR_RETURN(std::string one, Execute(statement));
     out += one;
   }
+
+  if (want_trace) {
+    scoped.reset();
+    obs::ExportTraceIfRequested(*tracer);
+  }
   return out;
 }
 
 Result<std::string> Executor::Execute(const Statement& statement) {
+  // Root span per statement. Inert (free) unless a tracer is installed —
+  // by EXPLAIN ANALYZE, by the MSV_TRACE hook in Run(), or by a caller.
+  obs::Span span =
+      obs::StartTraceSpan(std::string("query.") + StatementName(statement));
   return std::visit(
       [this](const auto& stmt) -> Result<std::string> {
         using T = std::decay_t<decltype(stmt)>;
@@ -59,11 +128,60 @@ Result<std::string> Executor::Execute(const Statement& statement) {
           return ExecRebuild(stmt);
         } else if constexpr (std::is_same_v<T, DropViewStmt>) {
           return ExecDropView(stmt);
+        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          return ExecExplain(stmt);
         } else {
           return ExecShow(stmt);
         }
       },
       statement);
+}
+
+Result<std::string> Executor::ExecExplain(const ExplainStmt& stmt) {
+  if (stmt.inner == nullptr) {
+    return Status::InvalidArgument("EXPLAIN needs a statement");
+  }
+  if (!stmt.analyze) return ExplainPlan(*stmt.inner);
+
+  obs::Tracer tracer;
+  std::string result;
+  {
+    obs::ScopedTracer scoped(&tracer);
+    MSV_ASSIGN_OR_RETURN(result, Execute(*stmt.inner));
+  }
+  obs::ExportTraceIfRequested(tracer);
+  std::ostringstream out;
+  out << result << "-- EXPLAIN ANALYZE --\n" << tracer.ToTree();
+  return out.str();
+}
+
+Result<std::string> Executor::ExplainPlan(const Statement& statement) {
+  std::ostringstream out;
+  out << "EXPLAIN " << StatementName(statement) << "\n";
+  const SampleStmt* sample = std::get_if<SampleStmt>(&statement);
+  const EstimateStmt* estimate = std::get_if<EstimateStmt>(&statement);
+  const std::string* view_name =
+      sample ? &sample->view : estimate ? &estimate->view : nullptr;
+  if (view_name == nullptr) {
+    out << "  (no plan details for this statement kind)\n";
+    return out.str();
+  }
+  MSV_ASSIGN_OR_RETURN(core::MaterializedSampleView* view,
+                       GetView(*view_name));
+  const ViewInfo* info = catalog_->FindView(*view_name);
+  MSV_ASSIGN_OR_RETURN(
+      sampling::RangeQuery query,
+      BuildQuery(*info, sample ? sample->predicates : estimate->predicates));
+  const core::AceMeta& meta = view->tree().meta();
+  out << "  view=" << *view_name << " base_records=" << view->base_records()
+      << " delta_records=" << view->delta_records() << "\n";
+  out << "  ace_tree: height=" << meta.height << " leaves=" << meta.num_leaves
+      << " page_size=" << meta.page_size << "\n";
+  out << "  range: " << DescribeQuery(*info, query) << "\n";
+  MSV_ASSIGN_OR_RETURN(uint64_t matches,
+                       view->tree().EstimateMatchCount(query));
+  out << "  estimated matches (index counts): " << matches << "\n";
+  return out.str();
 }
 
 Result<std::string> Executor::ExecGenerate(const GenerateTableStmt& stmt) {

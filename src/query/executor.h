@@ -43,6 +43,11 @@ class Executor {
   Result<std::string> ExecRebuild(const RebuildStmt& stmt);
   Result<std::string> ExecDropView(const DropViewStmt& stmt);
   Result<std::string> ExecShow(const ShowStmt& stmt);
+  Result<std::string> ExecExplain(const ExplainStmt& stmt);
+
+  /// Plan summary for EXPLAIN (no execution): statement kind, the range
+  /// query it induces and the view geometry it would touch.
+  Result<std::string> ExplainPlan(const Statement& statement);
 
   /// Opens (and caches) the view handle; fails for unknown views.
   Result<core::MaterializedSampleView*> GetView(const std::string& name);

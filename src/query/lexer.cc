@@ -15,7 +15,7 @@ const std::set<std::string>& Keywords() {
       "LIMIT",  "ESTIMATE",     "AVG",      "SUM",     "COUNT",   "SAMPLES",
       "INSERT", "INTO",         "ROWS",     "SEED",    "REBUILD", "DROP",
       "SHOW",   "VIEWS",        "GENERATE", "TABLE",   "TABLES",  "CONFIDENCE",
-      "GROUP",  "BY",
+      "GROUP",  "BY",           "EXPLAIN",  "ANALYZE",
   };
   return kKeywords;
 }

@@ -90,6 +90,7 @@ class ParserImpl {
   }
 
   Result<Statement> ParseStatement() {
+    if (Peek().IsKeyword("EXPLAIN")) return ParseExplain();
     if (Peek().IsKeyword("GENERATE")) return ParseGenerate();
     if (Peek().IsKeyword("CREATE")) return ParseCreate();
     if (Peek().IsKeyword("SAMPLE")) return ParseSample();
@@ -99,6 +100,19 @@ class ParserImpl {
     if (Peek().IsKeyword("DROP")) return ParseDrop();
     if (Peek().IsKeyword("SHOW")) return ParseShow();
     return Error("expected a statement");
+  }
+
+  Result<Statement> ParseExplain() {
+    Advance();  // EXPLAIN
+    ExplainStmt stmt;
+    if (Peek().IsKeyword("ANALYZE")) {
+      stmt.analyze = true;
+      Advance();
+    }
+    if (Peek().IsKeyword("EXPLAIN")) return Error("cannot nest EXPLAIN");
+    MSV_ASSIGN_OR_RETURN(Statement inner, ParseStatement());
+    stmt.inner = std::make_shared<Statement>(std::move(inner));
+    return Statement(std::move(stmt));
   }
 
   Result<Statement> ParseGenerate() {

@@ -1,5 +1,7 @@
 #include "sampling/online_aggregator.h"
 
+#include "obs/trace.h"
+
 namespace msv::sampling {
 
 OnlineAggregator::OnlineAggregator(
@@ -13,6 +15,26 @@ void OnlineAggregator::Consume(const SampleBatch& batch) {
   for (size_t i = 0; i < batch.count(); ++i) {
     stats_.Add(expression_(batch.record(i)));
   }
+  MaybeEmitCheckpoint();
+}
+
+void OnlineAggregator::MaybeEmitCheckpoint() {
+  if (stats_.count() < next_checkpoint_ || obs::Tracer::Active() == nullptr) {
+    return;
+  }
+  while (next_checkpoint_ <= stats_.count()) {
+    // 1-2-5 ladder: 10, 20, 50, 100, ...
+    uint64_t lead = next_checkpoint_;
+    while (lead >= 10) lead /= 10;
+    next_checkpoint_ = lead == 1   ? next_checkpoint_ * 2
+                       : lead == 2 ? next_checkpoint_ / 2 * 5
+                                   : next_checkpoint_ * 2;
+  }
+  Estimate avg = Avg();
+  obs::AddTraceEvent(
+      "estimate", {{"samples", static_cast<double>(avg.samples)},
+                   {"avg", avg.value},
+                   {"ci_half_width", avg.half_width}});
 }
 
 Estimate OnlineAggregator::Avg() const {

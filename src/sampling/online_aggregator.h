@@ -50,10 +50,17 @@ class OnlineAggregator {
   uint64_t samples_seen() const { return stats_.count(); }
 
  private:
+  /// Emits an `estimate` trace event (samples, avg, ci half-width) on the
+  /// active span whenever the sample count crosses the next step of a
+  /// 1-2-5 ladder, so an EXPLAIN ANALYZE trace shows the interval
+  /// shrinking as the stream progresses.
+  void MaybeEmitCheckpoint();
+
   std::function<double(const char*)> expression_;
   uint64_t population_;
   double z_;
   RunningStats stats_;
+  uint64_t next_checkpoint_ = 10;
 };
 
 }  // namespace msv::sampling

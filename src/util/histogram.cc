@@ -1,34 +1,120 @@
 #include "util/histogram.h"
 
 #include <algorithm>
-#include "util/logging.h"
 #include <cmath>
 #include <cstdio>
 #include <limits>
 
+#include "util/logging.h"
+
 namespace msv {
 
+namespace bucketing {
+
+std::vector<double> LinearEdges(double lo, double hi, size_t buckets) {
+  MSV_DCHECK(hi > lo);
+  MSV_DCHECK(buckets > 0);
+  std::vector<double> edges(buckets + 1);
+  double width = (hi - lo) / static_cast<double>(buckets);
+  for (size_t i = 0; i <= buckets; ++i) {
+    edges[i] = lo + width * static_cast<double>(i);
+  }
+  edges.back() = hi;  // exact upper edge despite fp accumulation
+  return edges;
+}
+
+std::vector<double> LogLinearEdges(unsigned max_octave, unsigned sub) {
+  MSV_DCHECK(sub > 0);
+  std::vector<double> edges;
+  edges.reserve(2 + static_cast<size_t>(max_octave) * sub);
+  edges.push_back(0.0);
+  edges.push_back(1.0);
+  for (unsigned e = 0; e < max_octave; ++e) {
+    double base = std::ldexp(1.0, static_cast<int>(e));
+    double step = base / static_cast<double>(sub);
+    for (unsigned s = 1; s <= sub; ++s) {
+      edges.push_back(base + step * static_cast<double>(s));
+    }
+  }
+  return edges;
+}
+
+size_t BucketFor(const std::vector<double>& edges, double v) {
+  MSV_DCHECK(edges.size() >= 2);
+  MSV_DCHECK(v >= edges.front() && v < edges.back());
+  auto it = std::upper_bound(edges.begin(), edges.end(), v);
+  return static_cast<size_t>(it - edges.begin()) - 1;
+}
+
+double QuantileFromCounts(const std::vector<double>& edges,
+                          const uint64_t* counts, uint64_t underflow,
+                          uint64_t overflow, uint64_t total, double q) {
+  MSV_DCHECK(q >= 0.0 && q <= 1.0);
+  (void)overflow;  // implied by total; kept for call-site clarity
+  if (total == 0) return 0.0;
+  double target = q * static_cast<double>(total);
+  double cum = static_cast<double>(underflow);
+  if (cum >= target) return edges.front();
+  const size_t n = edges.size() - 1;
+  for (size_t i = 0; i < n; ++i) {
+    double next = cum + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      double frac = (target - cum) / static_cast<double>(counts[i]);
+      return edges[i] + (edges[i + 1] - edges[i]) * frac;
+    }
+    cum = next;
+  }
+  return edges.back();
+}
+
+std::string RenderCounts(const std::vector<double>& edges,
+                         const uint64_t* counts, uint64_t total, double mean,
+                         double min_seen, double max_seen) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "count=%llu mean=%.4g min=%.4g max=%.4g\n",
+                static_cast<unsigned long long>(total), mean,
+                total ? min_seen : 0.0, total ? max_seen : 0.0);
+  out += line;
+  const size_t n = edges.size() - 1;
+  uint64_t peak = 1;
+  for (size_t i = 0; i < n; ++i) peak = std::max(peak, counts[i]);
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] == 0) continue;
+    int bar = static_cast<int>(50.0 * static_cast<double>(counts[i]) /
+                               static_cast<double>(peak));
+    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %8llu %s\n",
+                  edges[i], edges[i + 1],
+                  static_cast<unsigned long long>(counts[i]),
+                  std::string(static_cast<size_t>(bar), '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bucketing
+
 Histogram::Histogram(double lo, double hi, size_t buckets)
-    : lo_(lo),
-      hi_(hi),
+    : edges_(bucketing::LinearEdges(lo, hi, buckets)),
+      lo_(lo),
       width_((hi - lo) / static_cast<double>(buckets)),
       counts_(buckets, 0),
       min_(std::numeric_limits<double>::infinity()),
-      max_(-std::numeric_limits<double>::infinity()) {
-  MSV_DCHECK(hi > lo);
-  MSV_DCHECK(buckets > 0);
-}
+      max_(-std::numeric_limits<double>::infinity()) {}
 
 void Histogram::Add(double value) {
   ++count_;
   sum_ += value;
   min_ = std::min(min_, value);
   max_ = std::max(max_, value);
-  if (value < lo_) {
+  if (value < edges_.front()) {
     ++underflow_;
-  } else if (value >= hi_) {
+  } else if (value >= edges_.back()) {
     ++overflow_;
   } else {
+    // Equal-width layout: direct arithmetic beats the shared binary
+    // search and lands in the same cell.
     size_t i = static_cast<size_t>((value - lo_) / width_);
     if (i >= counts_.size()) i = counts_.size() - 1;  // fp edge
     ++counts_[i];
@@ -44,44 +130,13 @@ void Histogram::Clear() {
 }
 
 double Histogram::Quantile(double q) const {
-  MSV_DCHECK(q >= 0.0 && q <= 1.0);
-  if (count_ == 0) return 0.0;
-  double target = q * static_cast<double>(count_);
-  double cum = static_cast<double>(underflow_);
-  if (cum >= target) return lo_;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    double next = cum + static_cast<double>(counts_[i]);
-    if (next >= target && counts_[i] > 0) {
-      double frac = (target - cum) / static_cast<double>(counts_[i]);
-      return lo_ + width_ * (static_cast<double>(i) + frac);
-    }
-    cum = next;
-  }
-  return hi_;
+  return bucketing::QuantileFromCounts(edges_, counts_.data(), underflow_,
+                                       overflow_, count_, q);
 }
 
 std::string Histogram::ToString() const {
-  std::string out;
-  char line[160];
-  std::snprintf(line, sizeof(line),
-                "count=%llu mean=%.4g min=%.4g max=%.4g\n",
-                static_cast<unsigned long long>(count_), mean(),
-                count_ ? min_ : 0.0, count_ ? max_ : 0.0);
-  out += line;
-  uint64_t peak = 1;
-  for (uint64_t c : counts_) peak = std::max(peak, c);
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    int bar = static_cast<int>(50.0 * static_cast<double>(counts_[i]) /
-                               static_cast<double>(peak));
-    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %8llu %s\n",
-                  lo_ + width_ * static_cast<double>(i),
-                  lo_ + width_ * static_cast<double>(i + 1),
-                  static_cast<unsigned long long>(counts_[i]),
-                  std::string(static_cast<size_t>(bar), '#').c_str());
-    out += line;
-  }
-  return out;
+  return bucketing::RenderCounts(edges_, counts_.data(), count_, mean(),
+                                 min_, max_);
 }
 
 }  // namespace msv

@@ -1,5 +1,16 @@
-// Fixed-bucket and log-scale histograms used by I/O statistics and the
+// Histograms used by I/O statistics, the metrics registry and the
 // benchmark harness.
+//
+// There is exactly ONE implementation of bucket bookkeeping (edge
+// construction, value->bucket mapping, interpolated quantiles, ASCII
+// rendering) — the free functions in msv::bucketing — and two facades
+// over it:
+//
+//   * msv::Histogram           fixed-range equal-width buckets,
+//                              thread-compatible (no locking);
+//   * msv::obs::LogHistogram   log-linear buckets with atomic counts,
+//                              safe for concurrent Record() calls
+//                              (see obs/metrics.h).
 
 #ifndef MSV_UTIL_HISTOGRAM_H_
 #define MSV_UTIL_HISTOGRAM_H_
@@ -9,6 +20,34 @@
 #include <vector>
 
 namespace msv {
+
+namespace bucketing {
+
+/// `buckets`+1 edges for equal-width cells spanning [lo, hi).
+std::vector<double> LinearEdges(double lo, double hi, size_t buckets);
+
+/// Edges for a log-linear layout over [0, 2^max_octave): one cell for
+/// [0, 1), then every power-of-two octave [2^k, 2^(k+1)) split into `sub`
+/// equal-width cells. Relative quantile error is bounded by 1/sub.
+std::vector<double> LogLinearEdges(unsigned max_octave, unsigned sub);
+
+/// Index of the cell containing `v`: edges[i] <= v < edges[i+1].
+/// Requires edges.front() <= v < edges.back().
+size_t BucketFor(const std::vector<double>& edges, double v);
+
+/// Interpolated quantile from per-cell counts. `counts[i]` covers
+/// [edges[i], edges[i+1]); `underflow`/`overflow` sit below/above the
+/// edge range; `total` = underflow + overflow + sum(counts).
+double QuantileFromCounts(const std::vector<double>& edges,
+                          const uint64_t* counts, uint64_t underflow,
+                          uint64_t overflow, uint64_t total, double q);
+
+/// Multi-line ASCII rendering (header line + one bar per non-empty cell).
+std::string RenderCounts(const std::vector<double>& edges,
+                         const uint64_t* counts, uint64_t total, double mean,
+                         double min_seen, double max_seen);
+
+}  // namespace bucketing
 
 /// Histogram over a fixed numeric range with equal-width buckets, plus
 /// underflow/overflow buckets. Thread-compatible (no internal locking).
@@ -35,12 +74,18 @@ class Histogram {
   /// Approximate quantile (linear interpolation inside the bucket).
   double Quantile(double q) const;
 
+  /// Percentile accessors used by trace reports.
+  double Percentile(double p) const { return Quantile(p / 100.0); }
+  double P50() const { return Percentile(50); }
+  double P95() const { return Percentile(95); }
+  double P99() const { return Percentile(99); }
+
   /// Multi-line ASCII rendering for logs.
   std::string ToString() const;
 
  private:
+  std::vector<double> edges_;
   double lo_;
-  double hi_;
   double width_;
   std::vector<uint64_t> counts_;
   uint64_t underflow_ = 0;

@@ -1,0 +1,318 @@
+// Unit tests for the observability layer: metrics registry (counters,
+// gauges, log-linear histograms, epochs), the span tracer (nesting,
+// counter deltas, golden tree/JSON output), and the JSON round-trip
+// contract the exporters rely on.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_util.h"
+#include "util/histogram.h"
+
+namespace msv::obs {
+namespace {
+
+using msv::testing::ValueOrDie;
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+  // Same name -> same counter.
+  EXPECT_EQ(reg.GetCounter("c"), c);
+
+  Gauge* g = reg.GetGauge("g");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+}
+
+TEST(MetricsTest, LabeledSeriesName) {
+  EXPECT_EQ(MetricRegistry::Labeled("io.disk.reads", {{"dev", "0"}}),
+            "io.disk.reads{dev=0}");
+  EXPECT_EQ(MetricRegistry::Labeled("x", {{"a", "1"}, {"b", "2"}}),
+            "x{a=1,b=2}");
+  EXPECT_EQ(MetricRegistry::Labeled("bare", {}), "bare");
+}
+
+TEST(MetricsTest, EpochBaselinesNeverZeroTotals) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("events");
+  c->Add(5);
+  EXPECT_EQ(reg.epoch(), 0u);
+  reg.BeginEpoch();
+  EXPECT_EQ(reg.epoch(), 1u);
+  c->Add(3);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "events");
+  EXPECT_EQ(snap.counters[0].total, 8u);        // monotone, never reset
+  EXPECT_EQ(snap.counters[0].since_epoch, 3u);  // delta since BeginEpoch
+  EXPECT_EQ(snap.epoch, 1u);
+}
+
+TEST(MetricsTest, CounterRegisteredAfterEpochHasZeroBaseline) {
+  MetricRegistry reg;
+  reg.BeginEpoch();
+  reg.GetCounter("late")->Add(7);
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].total, 7u);
+  EXPECT_EQ(snap.counters[0].since_epoch, 7u);
+}
+
+TEST(MetricsTest, LogHistogramMeanAndQuantiles) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(7);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 700u);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+  // All mass sits in the cell containing 7; interpolation stays inside.
+  EXPECT_GE(h.P50(), 7.0);
+  EXPECT_LE(h.P50(), 8.0);
+
+  LogHistogram u;
+  for (uint64_t v = 1; v <= 1000; ++v) u.Record(v);
+  // Log-linear cells are <= 25% wide, so interpolated percentiles land
+  // near the exact order statistics.
+  EXPECT_NEAR(u.P50(), 500.0, 150.0);
+  EXPECT_NEAR(u.P95(), 950.0, 250.0);
+  EXPECT_NEAR(u.P99(), 990.0, 260.0);
+  EXPECT_GT(u.P99(), u.P50());
+}
+
+TEST(MetricsTest, UtilHistogramFacadePercentiles) {
+  // The fixed-width facade shares the same bucket math (one
+  // implementation, two facades).
+  Histogram h(0.0, 100.0, 20);
+  for (int v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_NEAR(h.P50(), 50.0, 6.0);
+  EXPECT_NEAR(h.P95(), 95.0, 6.0);
+  EXPECT_NEAR(h.P99(), 99.0, 6.0);
+}
+
+TEST(MetricsTest, ConcurrencySmoke) {
+  // Mixed registration + increments from many threads; run under the
+  // tsan preset this is the registry's data-race smoke test.
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.GetCounter("shared")->Add();
+        reg.GetCounter("own." + std::to_string(t))->Add();
+        reg.GetHistogram("lat")->Record(static_cast<uint64_t>(i % 97));
+        if (i % 256 == 0) reg.Snapshot();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.GetCounter("shared")->Value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.GetHistogram("lat")->count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.GetCounter("own." + std::to_string(t))->Value(),
+              static_cast<uint64_t>(kIters));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip (the exporter contract)
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, RoundTripNestedDocument) {
+  Json doc = Json::Object();
+  doc["name"] = "bench";
+  doc["n"] = uint64_t{12345};
+  doc["ratio"] = 0.0025;
+  doc["ok"] = true;
+  doc["nothing"] = Json();
+  Json arr = Json::Array();
+  arr.Append(1);
+  arr.Append("two");
+  arr.Append(Json::Object());
+  doc["arr"] = std::move(arr);
+
+  for (int indent : {0, 2}) {
+    Json back = ValueOrDie(Json::Parse(doc.Dump(indent)));
+    EXPECT_EQ(back, doc) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, MetricsSnapshotRoundTrips) {
+  MetricRegistry reg;
+  reg.GetCounter("io.disk.reads")->Add(17);
+  reg.GetGauge("pool.fill")->Set(0.75);
+  reg.GetHistogram("io.disk.access_us")->Record(640);
+  reg.BeginEpoch();
+  reg.GetCounter("io.disk.reads")->Add(3);
+
+  Json j = reg.Snapshot().ToJson();
+  Json back = ValueOrDie(Json::Parse(j.Dump(2)));
+  EXPECT_EQ(back, j);
+  const Json* counters = back.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* reads = counters->Find("io.disk.reads");
+  ASSERT_NE(reads, nullptr);
+  EXPECT_DOUBLE_EQ(reads->Find("total")->AsNumber(), 20.0);
+  EXPECT_DOUBLE_EQ(reads->Find("since_epoch")->AsNumber(), 3.0);
+}
+
+TEST(JsonTest, BenchRecordShapeRoundTrips) {
+  // Mirrors bench::WriteBenchJson: {bench, numbers, metrics}.
+  MetricRegistry reg;
+  reg.GetCounter("ace.leaf_reads")->Add(5);
+  Json record = Json::Object();
+  record["bench"] = "fig11";
+  Json numbers = Json::Object();
+  numbers["records"] = uint64_t{100000};
+  numbers["scan_ms"] = 205.6;
+  record["numbers"] = std::move(numbers);
+  record["metrics"] = reg.Snapshot().ToJson();
+
+  Json back = ValueOrDie(Json::Parse(record.Dump(2)));
+  EXPECT_EQ(back, record);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SpanNestingGoldenTree) {
+  // Private registry so counter deltas are fully deterministic.
+  MetricRegistry reg;
+  Tracer tracer(&reg);
+  {
+    Span root = tracer.StartSpan("query");
+    root.AddAttr("view", "v");
+    reg.GetCounter("io.leaf_reads")->Add(3);
+    {
+      Span child = tracer.StartSpan("sample");
+      child.AddMetric("levels", 4);
+      reg.GetCounter("io.leaf_reads")->Add(2);
+      tracer.AddEvent("estimate", {{"samples", 100}, {"avg", 1.5}});
+    }
+  }
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+  // Child sees only the increments while it was open; the root sees all
+  // five (the counter was registered inside the root span, baseline 0).
+  EXPECT_EQ(tracer.ToTree(/*include_wall=*/false),
+            "query view=v [io.leaf_reads=5]\n"
+            "  sample [levels=4 io.leaf_reads=2]\n"
+            "    * estimate samples=100 avg=1.5\n");
+}
+
+TEST(TraceTest, EndingParentClosesChildren) {
+  MetricRegistry reg;
+  Tracer tracer(&reg);
+  Span parent = tracer.StartSpan("parent");
+  Span child = tracer.StartSpan("child");
+  parent.End();  // force-closes the child LIFO
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].name, "parent");
+  EXPECT_EQ(tracer.spans()[0].parent, 0u);
+  EXPECT_EQ(tracer.spans()[1].name, "child");
+  EXPECT_EQ(tracer.spans()[1].parent, tracer.spans()[0].id);
+  child.End();  // already closed; must be a harmless no-op
+  EXPECT_EQ(tracer.spans().size(), 2u);
+}
+
+TEST(TraceTest, JsonExportRoundTrips) {
+  MetricRegistry reg;
+  Tracer tracer(&reg);
+  {
+    Span root = tracer.StartSpan("query");
+    root.AddAttr("kind", "estimate");
+    reg.GetCounter("samples")->Add(10);
+    tracer.AddEvent("estimate", {{"avg", 3.25}});
+  }
+  Json j = tracer.ToJson();
+  Json back = ValueOrDie(Json::Parse(j.Dump()));
+  EXPECT_EQ(back, j);
+  const Json* spans = back.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 1u);
+  EXPECT_EQ(spans->at(0).Find("name")->AsString(), "query");
+  EXPECT_DOUBLE_EQ(
+      spans->at(0).Find("metrics")->Find("samples")->AsNumber(), 10.0);
+}
+
+TEST(TraceTest, ScopedTracerInstallsAndRestores) {
+  EXPECT_EQ(Tracer::Active(), nullptr);
+  MetricRegistry reg;
+  Tracer tracer(&reg);
+  {
+    ScopedTracer scoped(&tracer);
+    EXPECT_EQ(Tracer::Active(), &tracer);
+    Span s = StartTraceSpan("via-free-function");
+    EXPECT_TRUE(s.active());
+  }
+  EXPECT_EQ(Tracer::Active(), nullptr);
+  // Without an active tracer the free functions are inert.
+  Span s = StartTraceSpan("dropped");
+  EXPECT_FALSE(s.active());
+}
+
+TEST(TraceTest, MaxSpansDrops) {
+  MetricRegistry reg;
+  Tracer tracer(&reg, /*max_spans=*/2);
+  Span a = tracer.StartSpan("a");
+  Span b = tracer.StartSpan("b");
+  Span c = tracer.StartSpan("c");
+  EXPECT_FALSE(c.active());
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+}
+
+TEST(TraceTest, ExportTraceIfRequestedWritesJsonLine) {
+  MetricRegistry reg;
+  Tracer tracer(&reg);
+  { Span s = tracer.StartSpan("exported"); }
+
+  const std::string path =
+      ::testing::TempDir() + "/msv_obs_test_trace.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("MSV_OBS_TEST_TRACE", path.c_str(), 1), 0);
+  EXPECT_TRUE(ExportTraceIfRequested(tracer, "MSV_OBS_TEST_TRACE"));
+  unsetenv("MSV_OBS_TEST_TRACE");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  Json parsed = ValueOrDie(Json::Parse(line));
+  ASSERT_NE(parsed.Find("spans"), nullptr);
+  EXPECT_EQ(parsed.Find("spans")->at(0).Find("name")->AsString(), "exported");
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, UnsetEnvVarExportsNothing) {
+  MetricRegistry reg;
+  Tracer tracer(&reg);
+  unsetenv("MSV_OBS_TEST_TRACE_UNSET");
+  EXPECT_FALSE(ExportTraceIfRequested(tracer, "MSV_OBS_TEST_TRACE_UNSET"));
+}
+
+}  // namespace
+}  // namespace msv::obs

@@ -24,6 +24,11 @@ Custom rules (things clang-tidy cannot express for this repo):
                          make_unique/make_shared; `delete` not at all.
   msv-no-bare-assert     library code uses MSV_CHECK / MSV_DCHECK (which
                          log the failing expression) instead of assert().
+  msv-stats-direct       I/O stats structs (stats_/totals_/baseline_
+                         members) may only be mutated inside the
+                         instrumented accessors in src/io/disk_model.cc
+                         and src/io/buffer_pool.cc, which keep the
+                         structs and the metrics registry in lock-step.
 
 A finding is suppressed by `// NOLINT` or `// NOLINT(<rule>)` on the
 same line. Exit code: 0 clean, 1 findings, 2 usage/environment error.
@@ -226,6 +231,42 @@ def check_bare_assert(path: Path, lines: list[str], findings: list[Finding]):
                 "expression is logged (see util/logging.h)"))
 
 
+# --- msv-stats-direct ------------------------------------------------------
+
+# Files that own the stats structs and mirror every mutation into the
+# metrics registry. Everywhere else, writes to these members bypass the
+# instrumentation and desynchronize struct totals from traced deltas.
+STATS_ALLOWED = {
+    ("src", "io", "disk_model.cc"),
+    ("src", "io", "buffer_pool.cc"),
+}
+STATS_MEMBER = r"(?:stats_|totals_|baseline_)"
+# Field writes (stats_.reads += n, ++totals_.reads, totals_.busy_us = x)
+# and whole-struct writes (baseline_ = totals_).
+STATS_WRITE_RE = re.compile(
+    rf"(?:(?:\+\+|--)\s*{STATS_MEMBER}\s*\."
+    rf"|\b{STATS_MEMBER}\s*\.\s*\w+\s*(?:\+\+|--|[+\-*/|&^]?=[^=])"
+    rf"|\b{STATS_MEMBER}\s*=[^=])")
+
+
+def check_stats_direct(path: Path, lines: list[str],
+                       findings: list[Finding]):
+    rel = path.relative_to(REPO_ROOT)
+    if rel.parts[0] != "src" or rel.parts in STATS_ALLOWED:
+        return
+    for no, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if STATS_WRITE_RE.search(line):
+            if is_suppressed(raw, "msv-stats-direct"):
+                continue
+            findings.append(Finding(
+                path, no, "msv-stats-direct",
+                "direct mutation of an I/O stats struct outside the "
+                "instrumented accessors — route it through "
+                "DiskDevice/BufferPool so the metrics registry stays in "
+                "sync"))
+
+
 # --- clang-tidy ------------------------------------------------------------
 
 def run_clang_tidy(paths: list[Path], require: bool) -> int:
@@ -301,6 +342,7 @@ def main() -> int:
         check_status_ignored(path, lines, findings)
         check_naked_new(path, lines, findings)
         check_bare_assert(path, lines, findings)
+        check_stats_direct(path, lines, findings)
 
     for f in findings:
         print(f)

@@ -8,6 +8,10 @@
 //   msv_inspect <dir> leaf <file> <n>     dump one leaf's section sizes
 //   msv_inspect <dir> histogram <file>    leaf-size histogram
 //
+// The global flag --metrics (or --metrics=json) appends a dump of the
+// process metrics registry after any command — e.g. `verify --metrics`
+// shows the per-check verify.<phase>_us durations alongside the report.
+//
 // <dir> is a host filesystem directory; <file> the ACE tree (or heap
 // file, for `stats`) inside it. Exit code 0 = healthy, 1 = corruption.
 
@@ -15,9 +19,11 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/ace_tree.h"
 #include "io/env.h"
+#include "obs/metrics.h"
 #include "storage/heap_file.h"
 #include "storage/record.h"
 #include "util/histogram.h"
@@ -29,7 +35,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: msv_inspect <dir> stats|verify|histogram <file>\n"
                "       msv_inspect <dir> leaf <file> <leaf-number>\n"
-               "       (commands may also be spelled --verify etc.)\n");
+               "       (commands may also be spelled --verify etc.;\n"
+               "        add --metrics or --metrics=json to dump the\n"
+               "        metrics registry after the command)\n");
   return 2;
 }
 
@@ -110,12 +118,19 @@ int CmdVerify(io::Env* env, const std::string& name) {
   // split-tree counts, Lemma-1 disjointness, Lemma-2 section sizes and
   // leaf-set partitioning (see AceTree::CheckInvariants).
   core::InvariantReport report = tree_or.value()->CheckInvariants();
+  const int rc = report.ok() ? 0 : 1;
   if (report.ok()) {
     std::printf("%s\n", report.ToString().c_str());
-    return 0;
+  } else {
+    std::fprintf(stderr, "FAIL %s", report.ToString().c_str());
   }
-  std::fprintf(stderr, "FAIL %s", report.ToString().c_str());
-  return 1;
+  // Per-check durations (also published as verify.<phase>_us counters in
+  // the metrics registry) so slow phases on large trees are visible.
+  std::printf("per-check durations:\n");
+  for (const auto& [phase, us] : report.check_us) {
+    std::printf("  verify.%s_us %" PRIu64 "\n", phase.c_str(), us);
+  }
+  return rc;
 }
 
 int CmdLeaf(io::Env* env, const std::string& name, uint64_t leaf) {
@@ -162,20 +177,49 @@ int CmdHistogram(io::Env* env, const std::string& name) {
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  auto env = io::NewPosixEnv(argv[1]);
-  std::string command = argv[2];
+  // Peel off the global --metrics[=json|=text] flag wherever it appears;
+  // what remains are the positional arguments.
+  enum class Metrics { kNone, kText, kJson };
+  Metrics metrics = Metrics::kNone;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics" || arg == "--metrics=text") {
+      metrics = Metrics::kText;
+    } else if (arg == "--metrics=json") {
+      metrics = Metrics::kJson;
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  if (args.size() < 3) return Usage();
+  auto env = io::NewPosixEnv(args[0]);
+  std::string command = args[1];
   // Accept both spellings: `msv_inspect <dir> verify <file>` and
   // `msv_inspect <dir> --verify <file>`.
   if (command.rfind("--", 0) == 0) command = command.substr(2);
-  std::string file = argv[3];
-  if (command == "stats") return CmdStats(env.get(), file);
-  if (command == "verify") return CmdVerify(env.get(), file);
-  if (command == "histogram") return CmdHistogram(env.get(), file);
-  if (command == "leaf" && argc >= 5) {
-    return CmdLeaf(env.get(), file, std::strtoull(argv[4], nullptr, 10));
+  const std::string& file = args[2];
+  int rc;
+  if (command == "stats") {
+    rc = CmdStats(env.get(), file);
+  } else if (command == "verify") {
+    rc = CmdVerify(env.get(), file);
+  } else if (command == "histogram") {
+    rc = CmdHistogram(env.get(), file);
+  } else if (command == "leaf" && args.size() >= 4) {
+    rc = CmdLeaf(env.get(), file, std::strtoull(args[3].c_str(), nullptr, 10));
+  } else {
+    return Usage();
   }
-  return Usage();
+  if (metrics != Metrics::kNone) {
+    obs::MetricsSnapshot snap = obs::MetricRegistry::Global().Snapshot();
+    if (metrics == Metrics::kJson) {
+      std::printf("%s\n", snap.ToJson().Dump(2).c_str());
+    } else {
+      std::printf("%s", snap.ToText().c_str());
+    }
+  }
+  return rc;
 }
 
 }  // namespace
