@@ -3,92 +3,27 @@
 #include <algorithm>
 #include <utility>
 
+#include "io/disk_model.h"
 #include "util/logging.h"
 
 namespace msv::core {
 
-AceSampler::AceSampler(const AceTree* tree, sampling::RangeQuery query,
-                       uint64_t seed)
-    : tree_(tree), query_(query), rng_(seed) {
-  MSV_CHECK_MSG(query_.Validate(tree_->layout()).ok(), "invalid query");
-  MSV_CHECK_MSG(query_.dims == tree_->meta().key_dims,
-                "query dims must match the tree's indexed dims");
-
-  const SplitTree& splits = tree_->splits();
-  const uint64_t num_leaves = splits.num_leaves();
-  auto covering = splits.CoveringSets(query_);
-  combiner_ = std::make_unique<CombineEngine>(
-      &tree_->layout(), query_, covering, tree_->meta().record_size,
-      tree_->meta().height);
-
+StabCursor::StabCursor(const SplitTree* splits,
+                       const std::vector<std::vector<uint64_t>>& covering)
+    : splits_(splits) {
+  const uint64_t num_leaves = splits_->num_leaves();
   overlaps_.assign(2 * num_leaves, 0);
   done_.assign(2 * num_leaves, 0);
   next_right_.assign(2 * num_leaves, 0);
   for (const auto& level_nodes : covering) {
     for (uint64_t id : level_nodes) overlaps_[id] = 1;
   }
-  finished_ = overlaps_[1] == 0;  // query misses the whole domain
-
-  level_disk_us_.assign(tree_->meta().height, 0);
-  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
-  c_leaf_reads_ = reg.GetCounter("ace.leaf_reads");
-  c_samples_ = reg.GetCounter("ace.samples_emitted");
-  c_disk_busy_ = reg.GetCounter("io.disk.busy_us");
-  span_ = obs::StartTraceSpan(name() + ".sample");
-  span_.AddAttr("leaves", num_leaves);
-  span_.AddAttr("height", static_cast<uint64_t>(tree_->meta().height));
+  exhausted_ = overlaps_[1] == 0;  // query misses the whole domain
 }
 
-AceSampler::~AceSampler() { EmitLevelSpans(); }
-
-void AceSampler::ApportionDiskUs(uint64_t delta_us, const LeafData& leaf) {
-  const uint32_t h = tree_->meta().height;
-  uint64_t total_bytes = 0;
-  for (const std::string& s : leaf.sections) total_bytes += s.size();
-  if (total_bytes == 0 || h == 0) {
-    if (h > 0) level_disk_us_[0] += delta_us;
-    return;
-  }
-  // Largest-remainder split: integer shares proportional to section
-  // bytes whose sum is exactly delta_us.
-  uint64_t assigned = 0;
-  std::vector<std::pair<uint64_t, uint32_t>> remainders;  // (remainder, level-1)
-  remainders.reserve(h);
-  for (uint32_t i = 0; i < h; ++i) {
-    uint64_t numer = delta_us * leaf.sections[i].size();
-    level_disk_us_[i] += numer / total_bytes;
-    assigned += numer / total_bytes;
-    remainders.emplace_back(numer % total_bytes, i);
-  }
-  std::sort(remainders.begin(), remainders.end(),
-            [](const auto& a, const auto& b) {
-              return a.first != b.first ? a.first > b.first
-                                        : a.second < b.second;
-            });
-  for (uint64_t r = delta_us - assigned, i = 0; r > 0; --r, ++i) {
-    ++level_disk_us_[remainders[i % remainders.size()].second];
-  }
-}
-
-void AceSampler::EmitLevelSpans() {
-  if (level_spans_emitted_) return;
-  level_spans_emitted_ = true;
-  if (!span_.active()) return;
-  for (uint32_t level = 1; level <= tree_->meta().height; ++level) {
-    obs::Span s = obs::StartTraceSpan("ace.level");
-    s.AddAttr("level", static_cast<uint64_t>(level));
-    s.AddMetric("disk_us", static_cast<double>(level_disk_us_[level - 1]));
-    s.AddMetric("sections_read", static_cast<double>(leaves_read_));
-    s.AddMetric("rounds", static_cast<double>(combiner_->rounds(level)));
-    s.AddMetric("samples", static_cast<double>(combiner_->emitted(level)));
-  }
-  span_.AddAttr("leaves_read", leaves_read_);
-  span_.AddAttr("samples", returned_);
-  span_.End();
-}
-
-Status AceSampler::Stab(sampling::SampleBatch* out) {
-  const uint64_t num_leaves = tree_->splits().num_leaves();
+uint64_t StabCursor::NextLeafId() {
+  if (exhausted_) return 0;
+  const uint64_t num_leaves = splits_->num_leaves();
   uint64_t id = 1;
   while (id < num_leaves) {
     uint64_t left = 2 * id;
@@ -120,21 +55,11 @@ Status AceSampler::Stab(sampling::SampleBatch* out) {
     } else if (r_ok) {
       id = right;
     } else {
-      return Status::Internal("stab reached a node with no viable child");
+      MSV_CHECK_MSG(false, "stab reached a node with no viable child");
     }
   }
 
-  // Leaf reached: retrieve and combine.
-  uint64_t busy_before = c_disk_busy_->Value();
-  MSV_ASSIGN_OR_RETURN(LeafData leaf,
-                       tree_->ReadLeaf(tree_->splits().LeafIndexOf(id)));
-  ApportionDiskUs(c_disk_busy_->Value() - busy_before, leaf);
-  ++leaves_read_;
-  c_leaf_reads_->Add();
-  leaf_read_order_.push_back(tree_->splits().LeafIndexOf(id));
-  combiner_->AddLeaf(id, leaf, out, &rng_);
   done_[id] = 1;
-
   // Propagate done-ness towards the root: a node is done once all leaves
   // beneath it have been accessed (the paper's lookup-table `done` flag).
   for (uint64_t n = id / 2; n >= 1; n /= 2) {
@@ -144,8 +69,117 @@ Status AceSampler::Stab(sampling::SampleBatch* out) {
       break;
     }
   }
+  exhausted_ = done_[1] != 0;
+  return id;
+}
 
-  if (done_[1]) {
+std::vector<uint64_t> ComputeStabLeafOrder(
+    const SplitTree& splits, const sampling::RangeQuery& query) {
+  StabCursor cursor(&splits, splits.CoveringSets(query));
+  std::vector<uint64_t> order;
+  order.reserve(splits.num_leaves());
+  while (!cursor.exhausted()) {
+    uint64_t id = cursor.NextLeafId();
+    if (id == 0) break;
+    order.push_back(splits.LeafIndexOf(id));
+  }
+  return order;
+}
+
+void ApportionDiskUsAcrossLevels(uint64_t delta_us, const LeafData& leaf,
+                                 uint32_t height,
+                                 std::vector<uint64_t>* level_us) {
+  uint64_t total_bytes = 0;
+  for (const std::string& s : leaf.sections) total_bytes += s.size();
+  if (total_bytes == 0 || height == 0) {
+    if (height > 0) (*level_us)[0] += delta_us;
+    return;
+  }
+  // Largest-remainder split: integer shares proportional to section
+  // bytes whose sum is exactly delta_us.
+  uint64_t assigned = 0;
+  std::vector<std::pair<uint64_t, uint32_t>> remainders;  // (remainder, level-1)
+  remainders.reserve(height);
+  for (uint32_t i = 0; i < height; ++i) {
+    uint64_t numer = delta_us * leaf.sections[i].size();
+    (*level_us)[i] += numer / total_bytes;
+    assigned += numer / total_bytes;
+    remainders.emplace_back(numer % total_bytes, i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (uint64_t r = delta_us - assigned, i = 0; r > 0; --r, ++i) {
+    ++(*level_us)[remainders[i % remainders.size()].second];
+  }
+}
+
+AceSampler::AceSampler(const AceTree* tree, sampling::RangeQuery query,
+                       uint64_t seed)
+    : tree_(tree), query_(query), rng_(seed) {
+  MSV_CHECK_MSG(query_.Validate(tree_->layout()).ok(), "invalid query");
+  MSV_CHECK_MSG(query_.dims == tree_->meta().key_dims,
+                "query dims must match the tree's indexed dims");
+
+  const SplitTree& splits = tree_->splits();
+  const uint64_t num_leaves = splits.num_leaves();
+  auto covering = splits.CoveringSets(query_);
+  combiner_ = std::make_unique<CombineEngine>(
+      &tree_->layout(), query_, covering, tree_->meta().record_size,
+      tree_->meta().height);
+  cursor_ = std::make_unique<StabCursor>(&splits, covering);
+  finished_ = cursor_->exhausted();
+
+  level_disk_us_.assign(tree_->meta().height, 0);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  c_leaf_reads_ = reg.GetCounter("ace.leaf_reads");
+  c_samples_ = reg.GetCounter("ace.samples_emitted");
+  span_ = obs::StartTraceSpan(name() + ".sample");
+  span_.AddAttr("leaves", num_leaves);
+  span_.AddAttr("height", static_cast<uint64_t>(tree_->meta().height));
+}
+
+AceSampler::~AceSampler() { EmitLevelSpans(); }
+
+void AceSampler::EmitLevelSpans() {
+  if (level_spans_emitted_) return;
+  level_spans_emitted_ = true;
+  if (!span_.active()) return;
+  for (uint32_t level = 1; level <= tree_->meta().height; ++level) {
+    obs::Span s = obs::StartTraceSpan("ace.level");
+    s.AddAttr("level", static_cast<uint64_t>(level));
+    s.AddMetric("disk_us", static_cast<double>(level_disk_us_[level - 1]));
+    s.AddMetric("sections_read", static_cast<double>(leaves_read_));
+    s.AddMetric("rounds", static_cast<double>(combiner_->rounds(level)));
+    s.AddMetric("samples", static_cast<double>(combiner_->emitted(level)));
+  }
+  span_.AddAttr("leaves_read", leaves_read_);
+  span_.AddAttr("samples", returned_);
+  span_.End();
+}
+
+Status AceSampler::Stab(sampling::SampleBatch* out) {
+  uint64_t id = cursor_->NextLeafId();
+  if (id == 0) {
+    return Status::Internal("stab on an exhausted cursor");
+  }
+
+  // Leaf reached: retrieve and combine. The busy delta is the calling
+  // thread's own attribution, so concurrent samplers hammering the same
+  // arm never inflate each other's levels.
+  uint64_t busy_before = io::ThreadDiskBusyUs();
+  MSV_ASSIGN_OR_RETURN(LeafData leaf,
+                       tree_->ReadLeaf(tree_->splits().LeafIndexOf(id)));
+  ApportionDiskUsAcrossLevels(io::ThreadDiskBusyUs() - busy_before, leaf,
+                              tree_->meta().height, &level_disk_us_);
+  ++leaves_read_;
+  c_leaf_reads_->Add();
+  leaf_read_order_.push_back(tree_->splits().LeafIndexOf(id));
+  combiner_->AddLeaf(id, leaf, out, &rng_);
+
+  if (cursor_->exhausted()) {
     // Every leaf consumed. All combine rounds have balanced out (each
     // covering node at level i received exactly 2^(h-i) contributions),
     // so the flush is a no-op safety net completing the match set.

@@ -27,6 +27,46 @@
 
 namespace msv::core {
 
+/// Deterministic stab cursor: replays the paper's back-and-forth
+/// root-to-leaf descents (Fig. 10) over the split tree, yielding the heap
+/// id of each leaf in retrieval order. The order depends only on the
+/// split tree and the query's covering sets — never on leaf contents —
+/// which is what lets ParallelAceSampler prefetch leaves out of order and
+/// still feed its combiner in the exact serial sequence.
+class StabCursor {
+ public:
+  StabCursor(const SplitTree* splits,
+             const std::vector<std::vector<uint64_t>>& covering);
+
+  /// Heap id of the next leaf to retrieve; marks it consumed and
+  /// propagates done-ness toward the root. Returns 0 once every leaf has
+  /// been yielded (immediately, if the query misses the whole domain).
+  uint64_t NextLeafId();
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  const SplitTree* splits_;
+  /// Heap-indexed node state (ids 1..2F-1; index 0 unused).
+  std::vector<uint8_t> overlaps_;    // box intersects the query
+  std::vector<uint8_t> done_;       // subtree fully consumed
+  std::vector<uint8_t> next_right_;  // toggle bit: take right child next
+  bool exhausted_ = false;
+};
+
+/// Full stab order for `query` as leaf *indices* (not heap ids): the
+/// sequence of LeafIndexOf() values an AceSampler on the same tree would
+/// produce in leaf_read_order().
+std::vector<uint64_t> ComputeStabLeafOrder(const SplitTree& splits,
+                                           const sampling::RangeQuery& query);
+
+/// Splits one leaf read's disk-µs delta across the leaf's section levels
+/// proportionally to section bytes, largest-remainder rounding, adding the
+/// shares into `level_us` (size `height`, index level-1). The shares sum
+/// to exactly `delta_us`.
+void ApportionDiskUsAcrossLevels(uint64_t delta_us, const LeafData& leaf,
+                                 uint32_t height,
+                                 std::vector<uint64_t>* level_us);
+
 class AceSampler : public sampling::SampleStream {
  public:
   /// `seed` drives only presentation-order shuffling of emitted rounds —
@@ -53,9 +93,11 @@ class AceSampler : public sampling::SampleStream {
   }
 
   /// Simulated disk microseconds attributed to section level `level`
-  /// (1-based). Each leaf read's io.disk.busy_us delta is apportioned
-  /// across the leaf's section levels proportionally to section bytes
-  /// with a largest-remainder split, so
+  /// (1-based). Each leaf read's disk-µs delta — measured with the
+  /// calling thread's io::ThreadDiskBusyUs(), so concurrent samplers
+  /// never see each other's I/O — is apportioned across the leaf's
+  /// section levels proportionally to section bytes with a
+  /// largest-remainder split, so
   ///   sum_level level_disk_us(level) == total busy_us of all leaf reads
   /// holds exactly (asserted by the trace end-to-end test).
   uint64_t level_disk_us(uint32_t level) const {
@@ -66,9 +108,6 @@ class AceSampler : public sampling::SampleStream {
   /// One stab; appends emitted samples to `out`.
   Status Stab(sampling::SampleBatch* out);
 
-  /// Splits one leaf read's disk-µs delta across section levels.
-  void ApportionDiskUs(uint64_t delta_us, const LeafData& leaf);
-
   /// Closes out the trace: one child span per section level carrying the
   /// level's leaf-section visits, emitted samples and disk µs. Runs once,
   /// when the stream completes or the sampler is destroyed early.
@@ -78,11 +117,7 @@ class AceSampler : public sampling::SampleStream {
   sampling::RangeQuery query_;
   Pcg64 rng_;
   std::unique_ptr<CombineEngine> combiner_;
-
-  /// Heap-indexed node state (ids 1..2F-1; index 0 unused).
-  std::vector<uint8_t> overlaps_;  // box intersects the query
-  std::vector<uint8_t> done_;     // subtree fully consumed
-  std::vector<uint8_t> next_right_;  // toggle bit: take right child next
+  std::unique_ptr<StabCursor> cursor_;
 
   uint64_t returned_ = 0;
   uint64_t leaves_read_ = 0;
@@ -93,7 +128,6 @@ class AceSampler : public sampling::SampleStream {
   std::vector<uint64_t> level_disk_us_;
   obs::Counter* c_leaf_reads_;
   obs::Counter* c_samples_;
-  obs::Counter* c_disk_busy_;
   /// Open for the sampler's whole lifetime; level spans nest under it.
   obs::Span span_;
   bool level_spans_emitted_ = false;

@@ -1,0 +1,160 @@
+#include "core/parallel_sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "io/disk_model.h"
+#include "util/logging.h"
+
+namespace msv::core {
+
+ParallelAceSampler::ParallelAceSampler(const AceTree* tree,
+                                       sampling::RangeQuery query,
+                                       uint64_t seed, Options options)
+    : tree_(tree), query_(query), rng_(seed) {
+  MSV_CHECK_MSG(query_.Validate(tree_->layout()).ok(), "invalid query");
+  MSV_CHECK_MSG(query_.dims == tree_->meta().key_dims,
+                "query dims must match the tree's indexed dims");
+
+  const SplitTree& splits = tree_->splits();
+  auto covering = splits.CoveringSets(query_);
+  combiner_ = std::make_unique<CombineEngine>(
+      &tree_->layout(), query_, covering, tree_->meta().record_size,
+      tree_->meta().height);
+
+  StabCursor cursor(&splits, covering);
+  order_.reserve(splits.num_leaves());
+  while (!cursor.exhausted()) {
+    uint64_t id = cursor.NextLeafId();
+    if (id == 0) break;
+    order_.emplace_back(id, splits.LeafIndexOf(id));
+  }
+  finished_ = order_.empty();
+
+  level_disk_us_.assign(tree_->meta().height, 0);
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  c_leaf_reads_ = reg.GetCounter("ace.leaf_reads");
+  c_samples_ = reg.GetCounter("ace.samples_emitted");
+  span_ = obs::StartTraceSpan(name() + ".sample");
+  span_.AddAttr("leaves", splits.num_leaves());
+  span_.AddAttr("height", static_cast<uint64_t>(tree_->meta().height));
+
+  size_t threads = std::max<size_t>(1, options.threads);
+  threads = std::min(threads, order_.empty() ? size_t{1} : order_.size());
+  window_ = options.prefetch_window ? options.prefetch_window : 2 * threads;
+  span_.AddAttr("threads", static_cast<uint64_t>(threads));
+  if (!finished_) {
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back(&ParallelAceSampler::WorkerLoop, this, i);
+    }
+  }
+}
+
+ParallelAceSampler::~ParallelAceSampler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  ready_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  EmitLevelSpans();
+}
+
+void ParallelAceSampler::WorkerLoop(size_t worker_index) {
+  obs::SetThreadLabel("ace-par-w" + std::to_string(worker_index));
+  for (;;) {
+    size_t pos;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || next_claim_ >= order_.size() ||
+               next_claim_ < consumed_ + window_;
+      });
+      if (stop_ || next_claim_ >= order_.size()) return;
+      pos = next_claim_++;
+    }
+
+    // The read happens outside mu_ so workers overlap in the buffer pool
+    // and on the (serialized) disk arm; the busy delta is this thread's
+    // own attribution.
+    uint64_t busy_before = io::ThreadDiskBusyUs();
+    Result<LeafData> leaf = tree_->ReadLeaf(order_[pos].second);
+    uint64_t delta = io::ThreadDiskBusyUs() - busy_before;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!leaf.ok()) {
+      if (worker_error_.ok()) worker_error_ = leaf.status();
+      stop_ = true;
+      work_cv_.notify_all();
+      ready_cv_.notify_all();
+      return;
+    }
+    fetched_.emplace(pos, Fetched{std::move(leaf).value(), delta});
+    ready_cv_.notify_all();
+  }
+}
+
+void ParallelAceSampler::EmitLevelSpans() {
+  if (level_spans_emitted_) return;
+  level_spans_emitted_ = true;
+  if (!span_.active()) return;
+  for (uint32_t level = 1; level <= tree_->meta().height; ++level) {
+    obs::Span s = obs::StartTraceSpan("ace.level");
+    s.AddAttr("level", static_cast<uint64_t>(level));
+    s.AddMetric("disk_us", static_cast<double>(level_disk_us_[level - 1]));
+    s.AddMetric("sections_read", static_cast<double>(leaves_read_));
+    s.AddMetric("rounds", static_cast<double>(combiner_->rounds(level)));
+    s.AddMetric("samples", static_cast<double>(combiner_->emitted(level)));
+  }
+  span_.AddAttr("leaves_read", leaves_read_);
+  span_.AddAttr("samples", returned_);
+  span_.End();
+}
+
+Result<sampling::SampleBatch> ParallelAceSampler::NextBatch() {
+  sampling::SampleBatch batch;
+  batch.record_size = tree_->meta().record_size;
+  if (finished_) return batch;
+
+  Fetched f;
+  uint64_t heap_id;
+  uint64_t leaf_index;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock,
+                   [&] { return stop_ || fetched_.count(consumed_) != 0; });
+    if (!worker_error_.ok()) return worker_error_;
+    auto it = fetched_.find(consumed_);
+    MSV_CHECK_MSG(it != fetched_.end(), "sampler stopped mid-stream");
+    f = std::move(it->second);
+    fetched_.erase(it);
+    heap_id = order_[consumed_].first;
+    leaf_index = order_[consumed_].second;
+    ++consumed_;
+    // The window slid: wake workers parked on it.
+    work_cv_.notify_all();
+  }
+
+  // Everything below runs only on the consumer thread, against the same
+  // combiner state and RNG a serial AceSampler would hold — the output
+  // bytes match a serial run with the same seed.
+  ApportionDiskUsAcrossLevels(f.disk_us, f.leaf, tree_->meta().height,
+                              &level_disk_us_);
+  ++leaves_read_;
+  c_leaf_reads_->Add();
+  leaf_read_order_.push_back(leaf_index);
+  combiner_->AddLeaf(heap_id, f.leaf, &batch, &rng_);
+
+  if (consumed_ == order_.size()) {
+    combiner_->Flush(&batch, &rng_);
+    finished_ = true;
+  }
+  returned_ += batch.count();
+  c_samples_->Add(batch.count());
+  if (finished_) EmitLevelSpans();
+  return batch;
+}
+
+}  // namespace msv::core

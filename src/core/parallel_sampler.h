@@ -1,0 +1,120 @@
+// Parallel ACE sampling: one query's leaf reads fanned across a worker
+// pool, merged back into a single without-replacement stream.
+//
+// The stab order of AceSampler depends only on the split tree and the
+// query's covering sets — never on leaf contents — so the full retrieval
+// sequence is known up front (StabCursor). Workers prefetch leaves from
+// that sequence out of order, bounded by a reorder window; the consumer
+// (NextBatch's caller thread) feeds leaves to the CombineEngine strictly
+// in stab order with a single presentation RNG. The emitted byte stream
+// is therefore identical to a serial AceSampler with the same seed — the
+// determinism test asserts equality — while the disk and buffer-pool
+// layers see concurrent requests.
+
+#ifndef MSV_CORE_PARALLEL_SAMPLER_H_
+#define MSV_CORE_PARALLEL_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ace_sampler.h"
+#include "core/ace_tree.h"
+#include "core/combine_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sampling/sample_stream.h"
+#include "util/random.h"
+
+namespace msv::core {
+
+class ParallelAceSampler : public sampling::SampleStream {
+ public:
+  struct Options {
+    /// Worker threads prefetching leaves. 0 or 1 degrades to a single
+    /// worker (still asynchronous, same output).
+    size_t threads = 4;
+    /// Maximum leaves fetched ahead of the consumer. 0 picks 2*threads.
+    /// Bounds both memory and how far workers run ahead.
+    size_t prefetch_window = 0;
+  };
+
+  /// Same seed semantics as AceSampler: `seed` drives only the
+  /// presentation-order shuffling, applied by the consumer thread.
+  ParallelAceSampler(const AceTree* tree, sampling::RangeQuery query,
+                     uint64_t seed, Options options);
+  ParallelAceSampler(const AceTree* tree, sampling::RangeQuery query,
+                     uint64_t seed)
+      : ParallelAceSampler(tree, query, seed, Options()) {}
+  ~ParallelAceSampler() override;
+
+  Result<sampling::SampleBatch> NextBatch() override;
+  bool done() const override { return finished_; }
+  uint64_t samples_returned() const override { return returned_; }
+  std::string name() const override { return "ace-par"; }
+
+  uint64_t buffered_records() const { return combiner_->buffered_records(); }
+  uint64_t leaves_read() const { return leaves_read_; }
+  const std::vector<uint64_t>& leaf_read_order() const {
+    return leaf_read_order_;
+  }
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Per-level disk-µs attribution with the same contract as
+  /// AceSampler::level_disk_us(): each leaf read's delta is measured on
+  /// the worker thread that issued it via io::ThreadDiskBusyUs(), so the
+  /// per-level sums reconcile exactly with the device's busy time charged
+  /// to this query even under concurrent queries.
+  uint64_t level_disk_us(uint32_t level) const {
+    return level_disk_us_[level - 1];
+  }
+
+ private:
+  /// A leaf fetched by a worker, waiting for the consumer.
+  struct Fetched {
+    LeafData leaf;
+    uint64_t disk_us = 0;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  void EmitLevelSpans();
+
+  const AceTree* tree_;
+  sampling::RangeQuery query_;
+  Pcg64 rng_;  // consumer-only; the serial presentation RNG
+  std::unique_ptr<CombineEngine> combiner_;
+
+  /// Stab order as (heap id, leaf index) pairs, fixed at construction.
+  std::vector<std::pair<uint64_t, uint64_t>> order_;
+  size_t window_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait: window space
+  std::condition_variable ready_cv_;  // consumer waits: next leaf fetched
+  size_t next_claim_ = 0;    // next order_ position a worker may take
+  size_t consumed_ = 0;      // next order_ position the consumer needs
+  std::unordered_map<size_t, Fetched> fetched_;  // position -> result
+  Status worker_error_;      // first failure; sticky
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  uint64_t returned_ = 0;
+  uint64_t leaves_read_ = 0;
+  std::vector<uint64_t> leaf_read_order_;
+  bool finished_ = false;
+
+  std::vector<uint64_t> level_disk_us_;
+  obs::Counter* c_leaf_reads_;
+  obs::Counter* c_samples_;
+  obs::Span span_;
+  bool level_spans_emitted_ = false;
+};
+
+}  // namespace msv::core
+
+#endif  // MSV_CORE_PARALLEL_SAMPLER_H_

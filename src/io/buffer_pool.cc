@@ -8,8 +8,9 @@ namespace msv::io {
 
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
   if (this != &other) {
-    if (pool_ != nullptr) pool_->Unpin(frame_);
+    if (pool_ != nullptr) pool_->Unpin(shard_, frame_);
     pool_ = other.pool_;
+    shard_ = other.shard_;
     frame_ = other.frame_;
     data_ = other.data_;
     size_ = other.size_;
@@ -21,46 +22,142 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
 }
 
 PageRef::~PageRef() {
-  if (pool_ != nullptr) pool_->Unpin(frame_);
+  if (pool_ != nullptr) pool_->Unpin(shard_, frame_);
 }
 
-BufferPool::BufferPool(size_t page_size, size_t capacity_pages)
+namespace {
+
+// Below this capacity the pool stays unsharded: striping a handful of
+// frames would let hash skew starve a shard, and tiny pools are the
+// single-threaded test/bench configuration where exact global LRU
+// eviction order is observable behaviour.
+constexpr size_t kMinCapacityForAutoSharding = 64;
+constexpr size_t kDefaultShards = 8;
+constexpr size_t kMinFramesPerShard = 8;
+
+size_t PickShards(size_t capacity, size_t requested) {
+  size_t shards = requested;
+  if (shards == 0) {
+    shards = capacity < kMinCapacityForAutoSharding ? 1 : kDefaultShards;
+  }
+  shards = std::min(shards, std::max<size_t>(1, capacity / kMinFramesPerShard));
+  return std::max<size_t>(1, shards);
+}
+
+}  // namespace
+
+BufferPool::BufferPool(size_t page_size, size_t capacity_pages, size_t shards)
     : page_size_(page_size), capacity_(capacity_pages) {
   MSV_CHECK(page_size_ > 0);
   MSV_CHECK(capacity_ > 0);
-  frames_.resize(capacity_);
-  map_.reserve(capacity_ * 2);
+  const size_t num_shards = PickShards(capacity_, shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute frames round-robin so sizes differ by at most one.
+    size_t frames = capacity_ / num_shards + (s < capacity_ % num_shards);
+    shard->frames.resize(frames);
+    shard->map.reserve(frames * 2);
+    shards_.push_back(std::move(shard));
+  }
   obs::MetricRegistry& reg = obs::MetricRegistry::Global();
   c_hits_ = reg.GetCounter("io.pool.hits");
   c_misses_ = reg.GetCounter("io.pool.misses");
   c_evictions_ = reg.GetCounter("io.pool.evictions");
 }
 
+BufferPoolStats BufferPool::total_stats() const {
+  BufferPoolStats sum;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    sum += shard->totals;
+  }
+  return sum;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats sum = total_stats();
+  std::lock_guard<std::mutex> lock(baseline_mu_);
+  return sum - baseline_;
+}
+
 void BufferPool::ResetStats() {
-  baseline_ = totals_;
+  BufferPoolStats sum = total_stats();
+  {
+    std::lock_guard<std::mutex> lock(baseline_mu_);
+    baseline_ = sum;
+  }
   obs::MetricRegistry::Global().BeginEpoch();
 }
 
-void BufferPool::Unpin(size_t frame) {
-  MSV_DCHECK(frame < frames_.size());
-  MSV_DCHECK(frames_[frame].pins > 0);
-  --frames_[frame].pins;
+size_t BufferPool::resident_pages() const {
+  size_t resident = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    resident += shard->map.size();
+  }
+  return resident;
 }
 
-Result<size_t> BufferPool::FindVictim() {
+std::string BufferPool::CheckAccounting() const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t valid = 0;
+    for (size_t i = 0; i < shard.frames.size(); ++i) {
+      const Frame& f = shard.frames[i];
+      if (f.pins < 0) {
+        return "shard " + std::to_string(s) + " frame " + std::to_string(i) +
+               ": negative pin count";
+      }
+      if (!f.valid && f.pins != 0) {
+        return "shard " + std::to_string(s) + " frame " + std::to_string(i) +
+               ": invalid frame is pinned";
+      }
+      if (f.valid) {
+        ++valid;
+        auto it = shard.map.find(Key{f.file_id, f.page_no});
+        if (it == shard.map.end() || it->second != i) {
+          return "shard " + std::to_string(s) + " frame " + std::to_string(i) +
+                 ": valid frame missing from the map";
+        }
+      }
+    }
+    if (valid != shard.map.size()) {
+      return "shard " + std::to_string(s) + ": map has " +
+             std::to_string(shard.map.size()) + " entries but " +
+             std::to_string(valid) + " valid frames";
+    }
+    BufferPoolStats t = shard.totals;
+    if (t.evictions > t.misses) {
+      return "shard " + std::to_string(s) + ": more evictions than misses";
+    }
+  }
+  return "";
+}
+
+void BufferPool::Unpin(size_t shard_idx, size_t frame) {
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  MSV_DCHECK(frame < shard.frames.size());
+  MSV_DCHECK(shard.frames[frame].pins > 0);
+  --shard.frames[frame].pins;
+}
+
+Result<size_t> BufferPool::FindVictim(Shard& shard) {
   // First prefer an empty frame, then the unpinned frame with the oldest
-  // access tick. Linear scan is fine at the pool sizes we use.
-  size_t victim = frames_.size();
+  // access tick. Linear scan is fine at the per-shard sizes we use.
+  size_t victim = shard.frames.size();
   uint64_t oldest = std::numeric_limits<uint64_t>::max();
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    const Frame& f = frames_[i];
+  for (size_t i = 0; i < shard.frames.size(); ++i) {
+    const Frame& f = shard.frames[i];
     if (!f.valid) return i;
     if (f.pins == 0 && f.tick < oldest) {
       oldest = f.tick;
       victim = i;
     }
   }
-  if (victim == frames_.size()) {
+  if (victim == shard.frames.size()) {
     return Status::ResourceExhausted("buffer pool: all pages pinned");
   }
   return victim;
@@ -69,28 +166,35 @@ Result<size_t> BufferPool::FindVictim() {
 Result<PageRef> BufferPool::Get(File* file, uint64_t file_id,
                                 uint64_t page_no) {
   Key key{file_id, page_no};
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    Frame& f = frames_[it->second];
-    ++totals_.hits;
+  const size_t shard_idx = ShardOf(key);
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    Frame& f = shard.frames[it->second];
+    ++shard.totals.hits;
     c_hits_->Add();
-    f.tick = ++tick_;
+    f.tick = ++shard.tick;
     ++f.pins;
-    return PageRef(this, it->second, f.data.data(), f.length);
+    return PageRef(this, shard_idx, it->second, f.data.data(), f.length);
   }
 
-  ++totals_.misses;
+  ++shard.totals.misses;
   c_misses_->Add();
-  MSV_ASSIGN_OR_RETURN(size_t frame_idx, FindVictim());
-  Frame& f = frames_[frame_idx];
+  MSV_ASSIGN_OR_RETURN(size_t frame_idx, FindVictim(shard));
+  Frame& f = shard.frames[frame_idx];
   if (f.valid) {
-    map_.erase(Key{f.file_id, f.page_no});
-    ++totals_.evictions;
+    shard.map.erase(Key{f.file_id, f.page_no});
+    ++shard.totals.evictions;
     c_evictions_->Add();
     f.valid = false;
   }
   if (f.data.size() != page_size_) f.data.resize(page_size_);
 
+  // The read happens under the shard lock, so two threads missing on the
+  // same page never fill two frames; misses on other shards proceed in
+  // parallel. The frame is invalid and unpinned here, so no concurrent
+  // reader can observe the bytes mid-write.
   MSV_ASSIGN_OR_RETURN(
       size_t got,
       file->Read(page_no * page_size_, page_size_, f.data.data()));
@@ -103,18 +207,21 @@ Result<PageRef> BufferPool::Get(File* file, uint64_t file_id,
   f.page_no = page_no;
   f.length = got;
   f.pins = 1;
-  f.tick = ++tick_;
+  f.tick = ++shard.tick;
   f.valid = true;
-  map_.emplace(key, frame_idx);
-  return PageRef(this, frame_idx, f.data.data(), f.length);
+  shard.map.emplace(key, frame_idx);
+  return PageRef(this, shard_idx, frame_idx, f.data.data(), f.length);
 }
 
 void BufferPool::Clear() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& f = frames_[i];
-    if (f.valid && f.pins == 0) {
-      map_.erase(Key{f.file_id, f.page_no});
-      f.valid = false;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Frame& f : shard.frames) {
+      if (f.valid && f.pins == 0) {
+        shard.map.erase(Key{f.file_id, f.page_no});
+        f.valid = false;
+      }
     }
   }
 }

@@ -5,13 +5,23 @@
 // further samples from it are free. The pool caches fixed-size pages of a
 // File keyed by (file id, page number) and evicts the least-recently-used
 // unpinned page when full.
+//
+// Concurrency: the pool is safely shareable across threads. Frames are
+// striped into shards by key hash; each shard owns its frames, its LRU
+// tick and its slice of the counters under one shard mutex, so threads
+// touching different shards never contend. A page's bytes are written
+// only while its frame is invalid (no pins) under the shard lock; the
+// returned PageRef pins the frame, which blocks eviction, so readers can
+// use the bytes lock-free for the PageRef's lifetime. With a single
+// shard (the default for small pools) eviction order is exactly the
+// classic global LRU the single-threaded tests and benches assume.
 
 #ifndef MSV_IO_BUFFER_POOL_H_
 #define MSV_IO_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +46,13 @@ struct BufferPoolStats {
     return BufferPoolStats{hits - b.hits, misses - b.misses,
                            evictions - b.evictions};
   }
+
+  BufferPoolStats& operator+=(const BufferPoolStats& b) {
+    hits += b.hits;
+    misses += b.misses;
+    evictions += b.evictions;
+    return *this;
+  }
 };
 
 class BufferPool;
@@ -58,24 +75,31 @@ class PageRef {
 
  private:
   friend class BufferPool;
-  PageRef(BufferPool* pool, size_t frame, const char* data, size_t size)
-      : pool_(pool), frame_(frame), data_(data), size_(size) {}
+  PageRef(BufferPool* pool, size_t shard, size_t frame, const char* data,
+          size_t size)
+      : pool_(pool), shard_(shard), frame_(frame), data_(data), size_(size) {}
 
   BufferPool* pool_ = nullptr;
+  size_t shard_ = 0;
   size_t frame_ = 0;
   const char* data_ = nullptr;
   size_t size_ = 0;
 };
 
-/// Fixed-capacity page cache. Not thread-safe (the reproduction is
-/// single-threaded per device, like the paper's experiments).
+/// Fixed-capacity page cache, shareable across threads (sharded LRU with
+/// per-frame pinning; see the file comment for the locking model).
 class BufferPool {
  public:
-  /// `capacity_pages` frames of `page_size` bytes each.
-  BufferPool(size_t page_size, size_t capacity_pages);
+  /// `capacity_pages` frames of `page_size` bytes each, striped over
+  /// `shards` locks. `shards == 0` picks automatically: one shard while
+  /// the pool is too small to stripe meaningfully (exact global LRU, the
+  /// historical semantics), else enough shards for concurrent serving.
+  /// The shard count is clamped so every shard owns at least one frame.
+  BufferPool(size_t page_size, size_t capacity_pages, size_t shards = 0);
 
   /// Returns a pinned reference to page `page_no` of `file`, reading it on
   /// a miss. `file_id` must uniquely identify the file across calls.
+  /// Safe from any thread; `file` must support concurrent Read()s.
   Result<PageRef> Get(File* file, uint64_t file_id, uint64_t page_no);
 
   /// Drops every unpinned page (e.g. between benchmark queries).
@@ -83,10 +107,12 @@ class BufferPool {
 
   size_t page_size() const { return page_size_; }
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
   /// Counters since the last ResetStats() (delta against the baseline).
-  BufferPoolStats stats() const { return totals_ - baseline_; }
-  /// Counters since pool construction; never reset.
-  const BufferPoolStats& total_stats() const { return totals_; }
+  BufferPoolStats stats() const;
+  /// Counters since pool construction; never reset. (By value: totals
+  /// are striped across shards and summed under the shard locks.)
+  BufferPoolStats total_stats() const;
 
   /// Starts a new stats epoch: snapshots the baseline instead of zeroing
   /// (resets can no longer discard concurrent increments) and advances
@@ -94,7 +120,13 @@ class BufferPool {
   void ResetStats();
 
   /// Number of frames currently holding a page.
-  size_t resident_pages() const { return map_.size(); }
+  size_t resident_pages() const;
+
+  /// Accounting invariant check for tests: every shard's pin counts are
+  /// non-negative, resident frames match the map, and (when no PageRef
+  /// is outstanding) no frame is pinned. Returns a violation message or
+  /// an empty string.
+  std::string CheckAccounting() const;
 
  private:
   friend class PageRef;
@@ -123,16 +155,31 @@ class BufferPool {
     }
   };
 
-  void Unpin(size_t frame);
-  Result<size_t> FindVictim();
+  /// One lock's worth of frames. Everything below `mu` is guarded by it;
+  /// a frame's `data` bytes are additionally readable without the lock
+  /// while the frame is pinned (pins block eviction and rewrites).
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    std::unordered_map<Key, size_t, KeyHash> map;
+    BufferPoolStats totals;
+    uint64_t tick = 0;
+  };
+
+  size_t ShardOf(const Key& key) const {
+    return shards_.size() == 1 ? 0 : KeyHash()(key) % shards_.size();
+  }
+
+  void Unpin(size_t shard, size_t frame);
+  /// Victim frame index within `shard` (lock held by caller).
+  Result<size_t> FindVictim(Shard& shard);
 
   size_t page_size_;
   size_t capacity_;
-  std::vector<Frame> frames_;
-  std::unordered_map<Key, size_t, KeyHash> map_;
-  BufferPoolStats totals_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Guards the baseline only; ordered after shard locks.
+  mutable std::mutex baseline_mu_;
   BufferPoolStats baseline_;
-  uint64_t tick_ = 0;
 
   // Registry series shared by every pool (process-wide totals).
   obs::Counter* c_hits_;

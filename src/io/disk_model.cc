@@ -31,7 +31,19 @@ DiskDevice::DiskDevice(DiskModelOptions options) : options_(options) {
   h_access_us_ = reg.GetHistogram("io.disk.access_us");
 }
 
+namespace {
+// Per-thread attribution of modeled busy time (see ThreadDiskBusyUs()).
+thread_local uint64_t tls_disk_busy_us = 0;
+}  // namespace
+
+uint64_t ThreadDiskBusyUs() { return tls_disk_busy_us; }
+
 void DiskDevice::Access(uint64_t pos, uint64_t len, bool is_write) {
+  // Serialized-arm model: one request owns the arm at a time. Seek vs
+  // sequential is judged against the head position the previous request
+  // (from any thread) left behind, so interleaved readers pay the seeks
+  // a real shared disk would.
+  std::lock_guard<std::mutex> lock(mu_);
   double ms = options_.request_overhead_ms;
   bool sequential = head_valid_ && pos == head_pos_;
   if (!sequential) {
@@ -44,10 +56,12 @@ void DiskDevice::Access(uint64_t pos, uint64_t len, bool is_write) {
   }
   ms += static_cast<double>(len) / (options_.transfer_mb_per_s * 1e6) * 1e3;
   clock_.AdvanceMs(ms);
-  // One rounding, shared by the struct total, the registry counter and
-  // the latency histogram, so all three views agree to the microsecond.
+  // One rounding, shared by the struct total, the registry counter, the
+  // latency histogram and the per-thread attribution, so all four views
+  // agree to the microsecond.
   uint64_t us = static_cast<uint64_t>(std::llround(ms * 1000.0));
   totals_.busy_us += us;
+  tls_disk_busy_us += us;
   c_busy_us_->Add(us);
   h_access_us_->Record(us);
   head_pos_ = pos + len;
@@ -65,8 +79,21 @@ void DiskDevice::Access(uint64_t pos, uint64_t len, bool is_write) {
   }
 }
 
+DiskStats DiskDevice::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_ - baseline_;
+}
+
+DiskStats DiskDevice::total_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
 void DiskDevice::ResetStats() {
-  baseline_ = totals_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    baseline_ = totals_;
+  }
   obs::MetricRegistry::Global().BeginEpoch();
 }
 

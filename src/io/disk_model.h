@@ -14,12 +14,21 @@
 // read it between sampling steps. Accesses to *different* files on the same
 // device also interfere (the head moves), which is what penalizes the
 // one-record-per-random-I/O behaviour of ranked B+-Tree sampling.
+//
+// Concurrency: a DiskDevice models ONE disk arm, so concurrent accesses
+// are serialized under an internal mutex — exactly the physical model.
+// Each request observes the head position left by whichever request the
+// arm served last (any thread), pays seek/rotation accordingly, and
+// advances the shared clock. The clock itself is lock-free so samplers
+// and harness threads can poll NowMs() without touching the arm lock.
 
 #ifndef MSV_IO_DISK_MODEL_H_
 #define MSV_IO_DISK_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "io/env.h"
@@ -45,15 +54,22 @@ struct DiskModelOptions {
   Status Validate() const;
 };
 
-/// Monotone simulated clock, in milliseconds.
+/// Monotone simulated clock, in milliseconds. Thread-safe: AdvanceMs() is
+/// a CAS loop (callers may advance concurrently with the device arm) and
+/// NowMs() is a relaxed load, so progress polling never blocks I/O.
 class SimClock {
  public:
-  double NowMs() const { return now_ms_; }
-  void AdvanceMs(double ms) { now_ms_ += ms; }
-  void Reset() { now_ms_ = 0.0; }
+  double NowMs() const { return now_ms_.load(std::memory_order_relaxed); }
+  void AdvanceMs(double ms) {
+    double cur = now_ms_.load(std::memory_order_relaxed);
+    while (!now_ms_.compare_exchange_weak(cur, cur + ms,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+  void Reset() { now_ms_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double now_ms_ = 0.0;
+  std::atomic<double> now_ms_{0.0};
 };
 
 /// Aggregate I/O counters for a device.
@@ -86,12 +102,16 @@ struct DiskStats {
 /// Every access is also published to the process-wide metric registry
 /// (io.disk.* counters, io.disk.access_us histogram), which is what the
 /// tracer and the exporters read.
+///
+/// Thread-safe: Access() serializes on the arm mutex (see file comment),
+/// and the stats accessors snapshot under the same mutex.
 class DiskDevice {
  public:
   explicit DiskDevice(DiskModelOptions options = {});
 
   /// Charges the model cost of an access of `len` bytes at absolute device
-  /// position `pos` and advances the head.
+  /// position `pos` and advances the head. Safe from any thread; requests
+  /// racing for the arm are served in lock-acquisition order.
   void Access(uint64_t pos, uint64_t len, bool is_write);
 
   /// Model time to read `bytes` sequentially from a cold start; the
@@ -101,10 +121,10 @@ class DiskDevice {
   SimClock& clock() { return clock_; }
   const SimClock& clock() const { return clock_; }
   /// Counters accumulated since the last ResetStats() (member-wise delta
-  /// against the reset baseline).
-  DiskStats stats() const { return totals_ - baseline_; }
+  /// against the reset baseline). Consistent snapshot under the arm lock.
+  DiskStats stats() const;
   /// Counters since device construction; never reset.
-  const DiskStats& total_stats() const { return totals_; }
+  DiskStats total_stats() const;
   const DiskModelOptions& options() const { return options_; }
 
   /// Starts a new stats epoch. Totals stay monotone — the baseline is
@@ -116,6 +136,9 @@ class DiskDevice {
  private:
   DiskModelOptions options_;
   SimClock clock_;
+
+  /// The arm lock: serializes Access() and guards head/stat state below.
+  mutable std::mutex mu_;
   DiskStats totals_;
   DiskStats baseline_;
   uint64_t head_pos_ = 0;
@@ -131,6 +154,14 @@ class DiskDevice {
   obs::Counter* c_busy_us_;
   obs::LogHistogram* h_access_us_;
 };
+
+/// Modeled disk-busy microseconds charged by accesses issued from the
+/// CALLING thread, across all DiskDevices, since thread start. Every
+/// access is attributed to exactly one thread, so per-query deltas taken
+/// around a thread's own I/O sum exactly to the devices' busy_us even
+/// when other threads are hammering the same arm — the race-free
+/// replacement for delta-ing the global io.disk.busy_us counter.
+uint64_t ThreadDiskBusyUs();
 
 /// An Env decorator: files opened through it behave exactly like the inner
 /// Env's files but charge time on the given device. Each distinct file is

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 
 #include "util/logging.h"
 
@@ -27,7 +28,11 @@ namespace {
 // In-memory environment
 // ---------------------------------------------------------------------------
 
+// Shared state of one in-memory file. Handles from concurrent OpenFile()
+// calls alias the same data, so concurrent readers (e.g. parallel sampler
+// workers) take the lock shared and writers take it exclusive.
 struct MemFileData {
+  mutable std::shared_mutex mu;
   std::vector<char> bytes;
 };
 
@@ -37,6 +42,7 @@ class MemFile : public File {
       : data_(std::move(data)) {}
 
   Result<size_t> Read(uint64_t offset, size_t n, char* scratch) override {
+    std::shared_lock<std::shared_mutex> lock(data_->mu);
     const auto& bytes = data_->bytes;
     if (offset >= bytes.size()) return static_cast<size_t>(0);
     size_t avail = bytes.size() - static_cast<size_t>(offset);
@@ -46,6 +52,7 @@ class MemFile : public File {
   }
 
   Status Write(uint64_t offset, const char* data, size_t n) override {
+    std::unique_lock<std::shared_mutex> lock(data_->mu);
     auto& bytes = data_->bytes;
     uint64_t end = offset + n;
     if (end > bytes.size()) bytes.resize(static_cast<size_t>(end));
@@ -54,16 +61,19 @@ class MemFile : public File {
   }
 
   Status Append(const char* data, size_t n) override {
+    std::unique_lock<std::shared_mutex> lock(data_->mu);
     auto& bytes = data_->bytes;
     bytes.insert(bytes.end(), data, data + n);
     return Status::OK();
   }
 
   Result<uint64_t> Size() const override {
+    std::shared_lock<std::shared_mutex> lock(data_->mu);
     return static_cast<uint64_t>(data_->bytes.size());
   }
 
   Status Truncate(uint64_t size) override {
+    std::unique_lock<std::shared_mutex> lock(data_->mu);
     data_->bytes.resize(static_cast<size_t>(size));
     return Status::OK();
   }
@@ -127,9 +137,11 @@ class MemEnv : public Env {
 };
 
 // ---------------------------------------------------------------------------
-// POSIX environment (stdio-based; adequate for single-threaded benches)
+// POSIX environment (stdio-based)
 // ---------------------------------------------------------------------------
 
+// A FILE* has one shared cursor, so the fseek+fread/fwrite pairs must not
+// interleave across threads; one mutex per open handle serializes them.
 class PosixFile : public File {
  public:
   explicit PosixFile(std::FILE* f) : f_(f) {}
@@ -138,6 +150,7 @@ class PosixFile : public File {
   }
 
   Result<size_t> Read(uint64_t offset, size_t n, char* scratch) override {
+    std::lock_guard<std::mutex> lock(mu_);
     if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
       return Status::IOError(std::string("fseek: ") + std::strerror(errno));
     }
@@ -150,6 +163,7 @@ class PosixFile : public File {
   }
 
   Status Write(uint64_t offset, const char* data, size_t n) override {
+    std::lock_guard<std::mutex> lock(mu_);
     if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
       return Status::IOError(std::string("fseek: ") + std::strerror(errno));
     }
@@ -160,6 +174,7 @@ class PosixFile : public File {
   }
 
   Status Append(const char* data, size_t n) override {
+    std::lock_guard<std::mutex> lock(mu_);
     if (std::fseek(f_, 0, SEEK_END) != 0) {
       return Status::IOError(std::string("fseek: ") + std::strerror(errno));
     }
@@ -170,6 +185,7 @@ class PosixFile : public File {
   }
 
   Result<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
     long cur = std::ftell(f_);
     if (std::fseek(f_, 0, SEEK_END) != 0) {
       return Status::IOError("fseek failed");
@@ -200,6 +216,7 @@ class PosixFile : public File {
   }
 
  private:
+  mutable std::mutex mu_;
   std::FILE* f_;
 };
 

@@ -23,7 +23,10 @@
 namespace msv::io {
 
 /// A random-access file supporting positional reads/writes and append.
-/// Implementations are not required to be thread-safe.
+/// The library's implementations (MemEnv, PosixEnv, SimEnv) are safe for
+/// concurrent use: positional reads may proceed in parallel and writes are
+/// serialized against them. Third-party implementations should match that
+/// contract before handing files to concurrent samplers.
 class File {
  public:
   virtual ~File() = default;

@@ -146,6 +146,23 @@ class MetricRegistry {
   /// Starts a new stats epoch: records every counter's current value as
   /// the epoch baseline. Never zeroes anything — cumulative totals stay
   /// monotone, so resets cannot discard concurrent increments.
+  ///
+  /// Memory-ordering contract (why relaxed counter ops are sufficient):
+  /// the baseline is read under mu_, and every Snapshot() also runs under
+  /// mu_, so the mutex orders the two critical sections. For any single
+  /// counter, read-read coherence then guarantees the snapshot observes a
+  /// value no earlier in that counter's modification order than the
+  /// baseline — i.e. total >= baseline and since_epoch = total - baseline
+  /// is a well-defined, non-negative delta even while other threads are
+  /// adding with memory_order_relaxed. What is NOT guaranteed is
+  /// cross-counter atomicity: a snapshot concurrent with a multi-counter
+  /// update (e.g. io.disk.reads and io.disk.busy_us from one access) may
+  /// see one bumped and not the other. Callers needing exact cross-counter
+  /// agreement must quiesce writers first (as the tests and the bench
+  /// harness do) or read the per-object struct totals, which are taken
+  /// under the owning lock. Snapshot() additionally clamps since_epoch at
+  /// zero as defense in depth. Regression-tested by
+  /// ObsConcurrencyTest.EpochBaselineNeverExceedsTotal.
   void BeginEpoch();
   uint64_t epoch() const;
 

@@ -12,6 +12,11 @@ namespace {
 
 thread_local Tracer* g_active_tracer = nullptr;
 
+std::string& MutableThreadLabel() {
+  static thread_local std::string label;
+  return label;
+}
+
 std::string FormatMetricValue(double v) {
   char buf[64];
   if (v == static_cast<double>(static_cast<long long>(v))) {
@@ -97,6 +102,9 @@ Span Tracer::StartSpan(std::string name) {
   rec.parent = open_.empty() ? 0 : open_.back().id;
   rec.depth = static_cast<uint32_t>(open_.size());
   rec.name = std::move(name);
+  if (!ThreadLabel().empty()) {
+    rec.attrs.emplace_back("thread", ThreadLabel());
+  }
   o.record_index = records_.size();
   records_.push_back(std::move(rec));
   open_.push_back(std::move(o));
@@ -216,6 +224,12 @@ Json Tracer::ToJson() const {
 }
 
 Tracer* Tracer::Active() { return g_active_tracer; }
+
+void SetThreadLabel(std::string label) {
+  MutableThreadLabel() = std::move(label);
+}
+
+const std::string& ThreadLabel() { return MutableThreadLabel(); }
 
 ScopedTracer::ScopedTracer(Tracer* tracer) : prev_(g_active_tracer) {
   g_active_tracer = tracer;

@@ -151,6 +151,14 @@ class ScopedTracer {
   Tracer* prev_;
 };
 
+/// Labels the current thread for tracing: while the label is non-empty,
+/// every span the thread opens carries a `thread=<label>` attribute.
+/// Worker pools (ParallelAceSampler, the concurrency bench) label their
+/// threads so a merged trace stays attributable. Pass "" to clear.
+void SetThreadLabel(std::string label);
+/// The current thread's label ("" when unlabelled).
+const std::string& ThreadLabel();
+
 /// Span on the active tracer; inert handle when no tracer is installed.
 Span StartTraceSpan(std::string name);
 

@@ -52,6 +52,22 @@ const char* StatementName(const Statement& statement) {
       statement);
 }
 
+/// True for statements that mutate the catalog, a view, or a table (and
+/// so need the exclusive statement lock). EXPLAIN is classified by the
+/// statement it wraps: EXPLAIN ANALYZE executes the inner statement.
+bool IsWriteStatement(const Statement& statement) {
+  const Statement* cur = &statement;
+  while (const ExplainStmt* e = std::get_if<ExplainStmt>(cur)) {
+    if (e->inner == nullptr) return false;
+    cur = e->inner.get();
+  }
+  return std::holds_alternative<GenerateTableStmt>(*cur) ||
+         std::holds_alternative<CreateViewStmt>(*cur) ||
+         std::holds_alternative<InsertStmt>(*cur) ||
+         std::holds_alternative<RebuildStmt>(*cur) ||
+         std::holds_alternative<DropViewStmt>(*cur);
+}
+
 std::string DescribeQuery(const ViewInfo& info,
                           const sampling::RangeQuery& query) {
   std::ostringstream out;
@@ -107,6 +123,15 @@ Result<std::string> Executor::Run(const std::string& script) {
 }
 
 Result<std::string> Executor::Execute(const Statement& statement) {
+  if (IsWriteStatement(statement)) {
+    std::unique_lock<std::shared_mutex> lock(stmt_mu_);
+    return ExecuteLocked(statement);
+  }
+  std::shared_lock<std::shared_mutex> lock(stmt_mu_);
+  return ExecuteLocked(statement);
+}
+
+Result<std::string> Executor::ExecuteLocked(const Statement& statement) {
   // Root span per statement. Inert (free) unless a tracer is installed —
   // by EXPLAIN ANALYZE, by the MSV_TRACE hook in Run(), or by a caller.
   obs::Span span =
@@ -147,7 +172,9 @@ Result<std::string> Executor::ExecExplain(const ExplainStmt& stmt) {
   std::string result;
   {
     obs::ScopedTracer scoped(&tracer);
-    MSV_ASSIGN_OR_RETURN(result, Execute(*stmt.inner));
+    // The statement lock is already held (Execute classified this EXPLAIN
+    // by its inner statement), so dispatch without re-locking.
+    MSV_ASSIGN_OR_RETURN(result, ExecuteLocked(*stmt.inner));
   }
   obs::ExportTraceIfRequested(tracer);
   std::ostringstream out;
@@ -219,12 +246,19 @@ Result<std::string> Executor::ExecCreateView(const CreateViewStmt& stmt) {
                     " over " + stmt.table + " (" +
                     std::to_string(view->base_records()) + " rows, height " +
                     std::to_string(view->tree().meta().height) + ")\n";
-  open_views_[stmt.view] = std::move(view);
+  {
+    std::lock_guard<std::mutex> lock(views_mu_);
+    open_views_[stmt.view] = std::move(view);
+  }
   return out;
 }
 
 Result<core::MaterializedSampleView*> Executor::GetView(
     const std::string& name) {
+  // Held across the open so two readers racing on a cold view cannot
+  // both open it (the loser's handle would invalidate the winner's raw
+  // pointer). Opens are rare; the hit path is one map lookup.
+  std::lock_guard<std::mutex> lock(views_mu_);
   auto it = open_views_.find(name);
   if (it != open_views_.end()) return it->second.get();
   const ViewInfo* info = catalog_->FindView(name);
@@ -457,7 +491,10 @@ Result<std::string> Executor::ExecDropView(const DropViewStmt& stmt) {
   if (catalog_->FindView(stmt.view) == nullptr) {
     return Status::NotFound("no such view: " + stmt.view);
   }
-  open_views_.erase(stmt.view);
+  {
+    std::lock_guard<std::mutex> lock(views_mu_);
+    open_views_.erase(stmt.view);
+  }
   MSV_RETURN_IF_ERROR(catalog_->DropView(stmt.view));
   env_->DeleteFile("view." + stmt.view + ".base").IgnoreError();  // best-effort scratch cleanup
   env_->DeleteFile("view." + stmt.view + ".delta").IgnoreError();  // best-effort scratch cleanup

@@ -1,11 +1,23 @@
 // Executor: runs parsed MSVQL statements against an Env-backed catalog of
 // tables and materialized sample views.
+//
+// Concurrency: one Executor may serve statements from many threads. Each
+// statement is classified as a read (SAMPLE, ESTIMATE, SHOW, EXPLAIN of a
+// read) or a write (GENERATE, CREATE VIEW, INSERT, REBUILD, DROP VIEW);
+// reads run concurrently under a shared lock while writes are exclusive,
+// so a sampler never observes a view mid-mutation. The seed sequence
+// driving sampling statements is a single atomic, so a serial script
+// draws exactly the historical seeds and concurrent scripts draw disjoint
+// ones.
 
 #ifndef MSV_QUERY_EXECUTOR_H_
 #define MSV_QUERY_EXECUTOR_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "core/sample_view.h"
@@ -23,10 +35,11 @@ class Executor {
       io::Env* env, const std::string& catalog_file = "msv.catalog");
 
   /// Parses and executes a script; returns the concatenated output of all
-  /// statements, or the first error.
+  /// statements, or the first error. Safe to call from multiple threads.
   Result<std::string> Run(const std::string& script);
 
-  /// Executes one already-parsed statement.
+  /// Executes one already-parsed statement. Safe to call from multiple
+  /// threads (see the classification rules in the file comment).
   Result<std::string> Execute(const Statement& statement);
 
   Catalog& catalog() { return *catalog_; }
@@ -34,6 +47,10 @@ class Executor {
  private:
   Executor(io::Env* env, std::unique_ptr<Catalog> catalog)
       : env_(env), catalog_(std::move(catalog)) {}
+
+  /// Dispatch without taking stmt_mu_ — for EXPLAIN ANALYZE recursion,
+  /// which already holds the lock for the (unwrapped) inner statement.
+  Result<std::string> ExecuteLocked(const Statement& statement);
 
   Result<std::string> ExecGenerate(const GenerateTableStmt& stmt);
   Result<std::string> ExecCreateView(const CreateViewStmt& stmt);
@@ -49,7 +66,10 @@ class Executor {
   /// query it induces and the view geometry it would touch.
   Result<std::string> ExplainPlan(const Statement& statement);
 
-  /// Opens (and caches) the view handle; fails for unknown views.
+  /// Opens (and caches) the view handle; fails for unknown views. Safe
+  /// under the shared statement lock: the cache has its own mutex, and a
+  /// cached pointer stays valid while any statement lock is held (only
+  /// DROP VIEW — exclusive — erases entries).
   Result<core::MaterializedSampleView*> GetView(const std::string& name);
 
   /// Translates WHERE predicates to a RangeQuery on the view's indexed
@@ -61,9 +81,18 @@ class Executor {
 
   io::Env* env_;
   std::unique_ptr<Catalog> catalog_;
+
+  /// Reader/writer statement lock (see file comment). The catalog and the
+  /// views' contents are only mutated while it is held exclusively.
+  mutable std::shared_mutex stmt_mu_;
+  /// Guards the open_views_ map itself (concurrent readers may race to
+  /// open the same view); ordered after stmt_mu_.
+  mutable std::mutex views_mu_;
   std::map<std::string, std::unique_ptr<core::MaterializedSampleView>>
       open_views_;
-  uint64_t next_seed_ = 0x415ce7;  // advanced per sampling statement
+  /// Advanced per sampling statement; atomic so concurrent readers draw
+  /// distinct seeds while a serial script sees the historical sequence.
+  std::atomic<uint64_t> next_seed_{0x415ce7};
 };
 
 }  // namespace msv::query

@@ -1,0 +1,86 @@
+#include "query/session_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace msv::query {
+
+SessionPool::SessionPool(Executor* executor, size_t threads)
+    : executor_(executor) {
+  threads = std::max<size_t>(1, threads);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back(&SessionPool::WorkerLoop, this, i);
+  }
+}
+
+SessionPool::~SessionPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+uint64_t SessionPool::Submit(std::string script) {
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket = next_ticket_++;
+    jobs_.emplace(ticket, Job{std::move(script), std::nullopt});
+    queue_.push_back(ticket);
+  }
+  job_cv_.notify_one();
+  return ticket;
+}
+
+Result<std::string> SessionPool::Wait(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(ticket);
+  MSV_CHECK_MSG(it != jobs_.end(), "unknown or already-collected ticket");
+  done_cv_.wait(lock, [&] { return it->second.result.has_value(); });
+  Result<std::string> result = std::move(*it->second.result);
+  jobs_.erase(it);
+  return result;
+}
+
+void SessionPool::WorkerLoop(size_t session_index) {
+  obs::SetThreadLabel("session-" + std::to_string(session_index));
+  for (;;) {
+    uint64_t ticket;
+    std::string script;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      ticket = queue_.front();
+      queue_.pop_front();
+      script = jobs_.at(ticket).script;
+    }
+    Result<std::string> result = executor_->Run(script);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.at(ticket).result = std::move(result);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+std::vector<Result<std::string>> SessionPool::RunScripts(
+    Executor* executor, const std::vector<std::string>& scripts,
+    size_t threads) {
+  SessionPool pool(executor, threads);
+  std::vector<uint64_t> tickets;
+  tickets.reserve(scripts.size());
+  for (const std::string& s : scripts) tickets.push_back(pool.Submit(s));
+  std::vector<Result<std::string>> results;
+  results.reserve(tickets.size());
+  for (uint64_t t : tickets) results.push_back(pool.Wait(t));
+  return results;
+}
+
+}  // namespace msv::query

@@ -1,0 +1,74 @@
+// SessionPool: N concurrent MSVQL sessions over one shared Executor.
+//
+// The executor classifies statements into reads and writes and serializes
+// only the writes (see executor.h), so a pool of sessions sampling the
+// same materialized view genuinely overlaps in the buffer pool and on the
+// simulated disk arm. Each submitted script runs to completion on one
+// worker thread; results are collected per ticket, in any order.
+
+#ifndef MSV_QUERY_SESSION_POOL_H_
+#define MSV_QUERY_SESSION_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "query/executor.h"
+#include "util/result.h"
+
+namespace msv::query {
+
+class SessionPool {
+ public:
+  /// `executor` must outlive the pool. `threads` is clamped to >= 1.
+  SessionPool(Executor* executor, size_t threads);
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+  /// Joins the workers; scripts still queued are abandoned (their Wait()
+  /// would never return, so collect every ticket before destruction).
+  ~SessionPool();
+
+  /// Enqueues a script for execution on the next free session; returns a
+  /// ticket for Wait().
+  uint64_t Submit(std::string script);
+
+  /// Blocks until the ticket's script finishes and returns its output (or
+  /// its error). Each ticket may be collected once.
+  Result<std::string> Wait(uint64_t ticket);
+
+  size_t session_count() const { return workers_.size(); }
+
+  /// Convenience: runs every script concurrently on a fresh pool of
+  /// `threads` sessions and returns the results in submission order.
+  static std::vector<Result<std::string>> RunScripts(
+      Executor* executor, const std::vector<std::string>& scripts,
+      size_t threads);
+
+ private:
+  struct Job {
+    std::string script;
+    std::optional<Result<std::string>> result;
+  };
+
+  void WorkerLoop(size_t session_index);
+
+  Executor* executor_;
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait: queue non-empty
+  std::condition_variable done_cv_;  // waiters wait: their job finished
+  std::deque<uint64_t> queue_;
+  std::unordered_map<uint64_t, Job> jobs_;
+  uint64_t next_ticket_ = 1;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace msv::query
+
+#endif  // MSV_QUERY_SESSION_POOL_H_

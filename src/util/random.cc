@@ -6,6 +6,23 @@
 
 namespace msv {
 
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30u)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27u)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31u);
+}
+
+Pcg64 DeriveRngStream(uint64_t root_seed, uint64_t stream_id) {
+  // Mix the stream id into the SplitMix state before drawing, so streams
+  // 0 and 1 of one root share no arithmetic relationship. Pinned by the
+  // RngStreamDerivationGolden test — do not change.
+  uint64_t state = root_seed ^ (stream_id * 0xda3e39cb94b95bdbULL);
+  uint64_t seed = SplitMix64(&state);
+  uint64_t stream = SplitMix64(&state);
+  return Pcg64(seed, stream);
+}
+
 std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
                                                Pcg64* rng) {
   MSV_DCHECK(k <= n);

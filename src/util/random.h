@@ -101,6 +101,28 @@ class Pcg64 {
   unsigned __int128 inc_;
 };
 
+/// One step of the SplitMix64 sequence: advances `*state` by the golden
+/// gamma and returns a well-mixed 64-bit output. This is the standard
+/// seed-expansion function (Steele, Lea & Flood 2014); consecutive states
+/// yield statistically independent outputs, which is what makes it safe
+/// to mint many generator seeds from one root seed.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Derives the `stream_id`-th independent Pcg64 from `root_seed`.
+///
+/// Concurrency contract: every concurrently running sampler/query MUST
+/// draw from its own stream (same root, distinct stream_id) instead of
+/// sharing one generator — Pcg64 is not thread-safe, and splitting one
+/// generator's outputs across threads would also make runs depend on
+/// thread scheduling. Distinct stream_ids give distinct PCG increments,
+/// so the streams never collide even if their states coincide.
+///
+/// The derivation (two SplitMix64 draws from root_seed ^ mixed stream_id
+/// feeding Pcg64's seed and stream selector) is pinned by a golden test:
+/// published experiment numbers depend on it, so changing it is a
+/// breaking change to every recorded seed.
+Pcg64 DeriveRngStream(uint64_t root_seed, uint64_t stream_id);
+
 /// Fisher-Yates shuffle of an entire vector.
 template <typename T>
 void Shuffle(std::vector<T>* v, Pcg64* rng) {
