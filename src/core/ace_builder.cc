@@ -344,95 +344,115 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
     meta.domain_max[d] = root_box.hi[d];
   }
 
-  MSV_ASSIGN_OR_RETURN(std::unique_ptr<io::File> out,
-                       env->OpenFile(output_name, /*create=*/true));
-  MSV_RETURN_IF_ERROR(out->Truncate(0));
-
-  std::vector<LeafLocation> directory(num_leaves);
+  // Atomic-build protocol: the tree is assembled in `<output>.tmp`, synced,
+  // renamed over `output_name`, and the directory is synced. A crash at any
+  // point leaves either no tree (or the previous one, when rebuilding over
+  // an existing name) or a complete, checksummed one — never a torn file
+  // under the final name.
+  const std::string tmp_name = output_name + ".tmp";
   const size_t leaf_header = LeafHeaderSize(height);
-  uint64_t write_off = meta.data_offset;
-  {
-    MSV_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> placed,
-                         HeapFile::Open(env, placed_name));
-    auto scanner = placed->NewScanner();
-    MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
+  auto write_tree = [&]() -> Status {
+    MSV_ASSIGN_OR_RETURN(std::unique_ptr<io::File> out,
+                         env->OpenFile(tmp_name, /*create=*/true));
+    MSV_RETURN_IF_ERROR(out->Truncate(0));
 
-    std::string blob;  // one leaf's serialized bytes
-    std::vector<uint32_t> section_counts(height);
-    for (uint64_t leaf = 0; leaf < num_leaves; ++leaf) {
-      blob.assign(leaf_header, '\0');
-      std::fill(section_counts.begin(), section_counts.end(), 0);
-      while (rec != nullptr && DecodeFixed32(rec) == leaf) {
-        uint32_t section = DecodeFixed32(rec + 4);
-        MSV_CHECK(section >= 1 && section <= height);
-        // Records arrive grouped by section in ascending order, so
-        // appending keeps sections contiguous.
-        blob.append(rec + 8, record_size);
-        ++section_counts[section - 1];
-        MSV_ASSIGN_OR_RETURN(rec, scanner.Next());
+    std::vector<LeafLocation> directory(num_leaves);
+    uint64_t write_off = meta.data_offset;
+    {
+      MSV_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> placed,
+                           HeapFile::Open(env, placed_name));
+      auto scanner = placed->NewScanner();
+      MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
+
+      std::string blob;  // one leaf's serialized bytes
+      std::vector<uint32_t> section_counts(height);
+      for (uint64_t leaf = 0; leaf < num_leaves; ++leaf) {
+        blob.assign(leaf_header, '\0');
+        std::fill(section_counts.begin(), section_counts.end(), 0);
+        while (rec != nullptr && DecodeFixed32(rec) == leaf) {
+          uint32_t section = DecodeFixed32(rec + 4);
+          MSV_CHECK(section >= 1 && section <= height);
+          // Records arrive grouped by section in ascending order, so
+          // appending keeps sections contiguous.
+          blob.append(rec + 8, record_size);
+          ++section_counts[section - 1];
+          MSV_ASSIGN_OR_RETURN(rec, scanner.Next());
+        }
+        EncodeFixed32(blob.data(), static_cast<uint32_t>(leaf));
+        EncodeFixed32(blob.data() + 4, height);
+        for (uint32_t s = 0; s < height; ++s) {
+          EncodeFixed32(blob.data() + 8 + 4 * s, section_counts[s]);
+        }
+        // Trailing masked CRC protects the whole leaf blob.
+        char crc[4];
+        EncodeFixed32(crc, MaskCrc(Crc32c(blob.data(), blob.size())));
+        blob.append(crc, sizeof(crc));
+        MSV_RETURN_IF_ERROR(out->Write(write_off, blob.data(), blob.size()));
+        directory[leaf] = LeafLocation{write_off, blob.size()};
+        write_off += blob.size();
       }
-      EncodeFixed32(blob.data(), static_cast<uint32_t>(leaf));
-      EncodeFixed32(blob.data() + 4, height);
-      for (uint32_t s = 0; s < height; ++s) {
-        EncodeFixed32(blob.data() + 8 + 4 * s, section_counts[s]);
-      }
-      // Trailing masked CRC protects the whole leaf blob.
-      char crc[4];
-      EncodeFixed32(crc, MaskCrc(Crc32c(blob.data(), blob.size())));
-      blob.append(crc, sizeof(crc));
-      MSV_RETURN_IF_ERROR(out->Write(write_off, blob.data(), blob.size()));
-      directory[leaf] = LeafLocation{write_off, blob.size()};
-      write_off += blob.size();
+      MSV_CHECK_MSG(rec == nullptr, "records left after final leaf");
     }
-    MSV_CHECK_MSG(rec == nullptr, "records left after final leaf");
-  }
+
+    // Exact subtree counts from finest-cell counts.
+    {
+      std::vector<uint64_t> counts(2 * num_leaves, 0);
+      for (uint64_t i = 0; i < num_leaves; ++i) {
+        counts[num_leaves + i] = cell_counts[i];
+      }
+      for (uint64_t id = num_leaves - 1; id >= 1; --id) {
+        counts[id] = counts[2 * id] + counts[2 * id + 1];
+      }
+      std::string internal_bytes((num_leaves - 1) * kInternalNodeSize, '\0');
+      for (uint64_t id = 1; id < num_leaves; ++id) {
+        InternalNode node = splits.node(id);
+        node.cnt_left = counts[2 * id];
+        node.cnt_right = counts[2 * id + 1];
+        EncodeInternalNode(internal_bytes.data() +
+                               (id - 1) * kInternalNodeSize,
+                           node);
+      }
+      meta.internal_crc =
+          MaskCrc(Crc32c(internal_bytes.data(), internal_bytes.size()));
+      if (!internal_bytes.empty()) {
+        MSV_RETURN_IF_ERROR(out->Write(meta.internal_offset,
+                                       internal_bytes.data(),
+                                       internal_bytes.size()));
+      }
+    }
+
+    // Directory.
+    {
+      std::string dir_bytes(num_leaves * kDirectoryEntrySize, '\0');
+      for (uint64_t i = 0; i < num_leaves; ++i) {
+        EncodeFixed64(dir_bytes.data() + i * kDirectoryEntrySize,
+                      directory[i].offset);
+        EncodeFixed64(dir_bytes.data() + i * kDirectoryEntrySize + 8,
+                      directory[i].length);
+      }
+      meta.directory_crc =
+          MaskCrc(Crc32c(dir_bytes.data(), dir_bytes.size()));
+      MSV_RETURN_IF_ERROR(out->Write(meta.directory_offset, dir_bytes.data(),
+                                     dir_bytes.size()));
+    }
+
+    // Superblock last, then fsync the file before the rename publishes it.
+    {
+      char super[kSuperblockSize];
+      EncodeSuperblock(super, meta);
+      MSV_RETURN_IF_ERROR(out->Write(0, super, sizeof(super)));
+      MSV_RETURN_IF_ERROR(out->Sync());
+    }
+    return Status::OK();
+  };
+  Status write_status = write_tree();
   env->DeleteFile(placed_name).IgnoreError();  // best-effort scratch cleanup
-
-  // Exact subtree counts from finest-cell counts.
-  {
-    std::vector<uint64_t> counts(2 * num_leaves, 0);
-    for (uint64_t i = 0; i < num_leaves; ++i) {
-      counts[num_leaves + i] = cell_counts[i];
-    }
-    for (uint64_t id = num_leaves - 1; id >= 1; --id) {
-      counts[id] = counts[2 * id] + counts[2 * id + 1];
-    }
-    std::string internal_bytes((num_leaves - 1) * kInternalNodeSize, '\0');
-    for (uint64_t id = 1; id < num_leaves; ++id) {
-      InternalNode node = splits.node(id);
-      node.cnt_left = counts[2 * id];
-      node.cnt_right = counts[2 * id + 1];
-      EncodeInternalNode(internal_bytes.data() +
-                             (id - 1) * kInternalNodeSize,
-                         node);
-    }
-    if (!internal_bytes.empty()) {
-      MSV_RETURN_IF_ERROR(out->Write(meta.internal_offset,
-                                     internal_bytes.data(),
-                                     internal_bytes.size()));
-    }
+  if (!write_status.ok()) {
+    env->DeleteFile(tmp_name).IgnoreError();  // best-effort scratch cleanup
+    return write_status;
   }
-
-  // Directory.
-  {
-    std::string dir_bytes(num_leaves * kDirectoryEntrySize, '\0');
-    for (uint64_t i = 0; i < num_leaves; ++i) {
-      EncodeFixed64(dir_bytes.data() + i * kDirectoryEntrySize,
-                    directory[i].offset);
-      EncodeFixed64(dir_bytes.data() + i * kDirectoryEntrySize + 8,
-                    directory[i].length);
-    }
-    MSV_RETURN_IF_ERROR(
-        out->Write(meta.directory_offset, dir_bytes.data(), dir_bytes.size()));
-  }
-
-  // Superblock last.
-  {
-    char super[kSuperblockSize];
-    EncodeSuperblock(super, meta);
-    MSV_RETURN_IF_ERROR(out->Write(0, super, sizeof(super)));
-    MSV_RETURN_IF_ERROR(out->Sync());
-  }
+  MSV_RETURN_IF_ERROR(env->RenameFile(tmp_name, output_name));
+  MSV_RETURN_IF_ERROR(env->SyncDir());
   phase2c_span.End();
 
   local.overhead_bytes = meta.data_offset + num_leaves * leaf_header -

@@ -29,6 +29,8 @@ void EncodeSuperblock(char* dst, const AceMeta& meta) {
     EncodeDouble(dst + off, meta.domain_max[d]);
     off += 8;
   }
+  EncodeFixed32(dst + off, meta.internal_crc);
+  EncodeFixed32(dst + off + 4, meta.directory_crc);
   // Masked CRC over everything before it, in the final 4 bytes.
   EncodeFixed32(dst + kSuperblockSize - 4,
                 MaskCrc(Crc32c(dst, kSuperblockSize - 4)));
@@ -64,6 +66,8 @@ Result<AceMeta> DecodeSuperblock(const char* src) {
     meta.domain_max[d] = DecodeDouble(src + off);
     off += 8;
   }
+  meta.internal_crc = DecodeFixed32(src + off);
+  meta.directory_crc = DecodeFixed32(src + off + 4);
   if (meta.record_size == 0 || meta.height == 0 || meta.key_dims == 0 ||
       meta.key_dims > storage::kMaxKeyDims) {
     return Status::Corruption("implausible ACE superblock geometry");

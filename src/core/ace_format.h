@@ -31,7 +31,11 @@
 namespace msv::core {
 
 inline constexpr uint64_t kAceMagic = 0x3145455254454341ULL;  // "ACETREE1"
-inline constexpr uint32_t kAceVersion = 1;
+/// v2 adds masked CRC32C checksums of the internal and directory regions
+/// to the superblock (previously only leaves and the superblock itself
+/// were checksummed), so a torn write anywhere in the file surfaces as
+/// Status::Corruption on open. v1 files are not readable.
+inline constexpr uint32_t kAceVersion = 2;
 inline constexpr size_t kSuperblockSize = 256;
 inline constexpr size_t kInternalNodeSize = 32;  // key f64, dim u32, pad, cnt_l u64, cnt_r u64
 inline constexpr size_t kDirectoryEntrySize = 16;  // offset u64, length u64
@@ -54,6 +58,10 @@ struct AceMeta {
   /// Smallest/largest key value per dimension (defines the root range).
   std::array<double, storage::kMaxKeyDims> domain_min{};
   std::array<double, storage::kMaxKeyDims> domain_max{};
+  /// Masked CRC32C of the raw internal-node and directory regions (format
+  /// v2). Verified by AceTree::Open before either region is trusted.
+  uint32_t internal_crc = 0;
+  uint32_t directory_crc = 0;
 
   uint64_t num_internal_nodes() const {
     return num_leaves > 0 ? num_leaves - 1 : 0;

@@ -27,24 +27,33 @@ Result<std::unique_ptr<AceTree>> AceTree::Open(
 
   const uint64_t num_leaves = meta.num_leaves;
 
-  // Internal-node array.
+  // Internal-node array; region checksum verified before any node is
+  // trusted (format v2).
   std::vector<InternalNode> nodes(num_leaves - 1);
-  if (num_leaves > 1) {
+  {
     std::string bytes((num_leaves - 1) * kInternalNodeSize, '\0');
-    MSV_RETURN_IF_ERROR(
-        file->ReadExact(meta.internal_offset, bytes.size(), bytes.data()));
+    if (!bytes.empty()) {
+      MSV_RETURN_IF_ERROR(
+          file->ReadExact(meta.internal_offset, bytes.size(), bytes.data()));
+    }
+    if (MaskCrc(Crc32c(bytes.data(), bytes.size())) != meta.internal_crc) {
+      return Status::Corruption("ACE internal region checksum mismatch");
+    }
     for (uint64_t id = 1; id < num_leaves; ++id) {
       nodes[id - 1] =
           DecodeInternalNode(bytes.data() + (id - 1) * kInternalNodeSize);
     }
   }
 
-  // Leaf directory.
+  // Leaf directory, checksummed the same way.
   std::vector<LeafLocation> directory(num_leaves);
   {
     std::string bytes(num_leaves * kDirectoryEntrySize, '\0');
     MSV_RETURN_IF_ERROR(
         file->ReadExact(meta.directory_offset, bytes.size(), bytes.data()));
+    if (MaskCrc(Crc32c(bytes.data(), bytes.size())) != meta.directory_crc) {
+      return Status::Corruption("ACE directory checksum mismatch");
+    }
     for (uint64_t i = 0; i < num_leaves; ++i) {
       directory[i].offset = DecodeFixed64(bytes.data() + i * kDirectoryEntrySize);
       directory[i].length =

@@ -29,6 +29,7 @@
 
 #include "core/ace_tree.h"
 #include "obs/metrics.h"
+#include "util/crc32c.h"
 #include "util/logging.h"
 
 namespace msv::core {
@@ -188,6 +189,37 @@ InvariantReport AceTree::CheckInvariants(
     }
   }
   timer.Finish("geometry");
+
+  // --- Region checksums: re-read the raw internal-node and directory
+  // bytes and compare against the superblock's CRCs (format v2). Open()
+  // already verified these once; re-checking here catches corruption that
+  // landed after the tree was opened.
+  {
+    std::string bytes(meta_.num_internal_nodes() * kInternalNodeSize, '\0');
+    Status st = bytes.empty()
+                    ? Status::OK()
+                    : file_->ReadExact(meta_.internal_offset, bytes.size(),
+                                       bytes.data());
+    if (!st.ok()) {
+      sink.Add(st.code(), InvariantViolation::kNoLeaf,
+               "regions: " + std::string(st.message()));
+    } else if (MaskCrc(Crc32c(bytes.data(), bytes.size())) !=
+               meta_.internal_crc) {
+      sink.Add(StatusCode::kCorruption, InvariantViolation::kNoLeaf,
+               "regions: internal region checksum mismatch");
+    }
+    bytes.assign(F * kDirectoryEntrySize, '\0');
+    st = file_->ReadExact(meta_.directory_offset, bytes.size(), bytes.data());
+    if (!st.ok()) {
+      sink.Add(st.code(), InvariantViolation::kNoLeaf,
+               "regions: " + std::string(st.message()));
+    } else if (MaskCrc(Crc32c(bytes.data(), bytes.size())) !=
+               meta_.directory_crc) {
+      sink.Add(StatusCode::kCorruption, InvariantViolation::kNoLeaf,
+               "regions: directory checksum mismatch");
+    }
+  }
+  timer.Finish("regions");
 
   // --- Split tree: dimensions, split keys inside their box, counts
   // summing parent = left + right down the heap.

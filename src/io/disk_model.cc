@@ -184,6 +184,7 @@ class SimEnv : public Env {
   Result<std::vector<std::string>> ListFiles() override {
     return inner_->ListFiles();
   }
+  Status SyncDir() override { return inner_->SyncDir(); }
 
  private:
   Env* inner_;

@@ -1,9 +1,16 @@
 #include "io/env.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <shared_mutex>
@@ -52,9 +59,18 @@ class MemFile : public File {
   }
 
   Status Write(uint64_t offset, const char* data, size_t n) override {
+    if (n > std::numeric_limits<uint64_t>::max() - offset) {
+      return Status::InvalidArgument(
+          "MemFile::Write offset + length overflows uint64: offset=" +
+          std::to_string(offset) + " n=" + std::to_string(n));
+    }
+    uint64_t end = offset + n;
+    if (end > std::numeric_limits<size_t>::max()) {
+      return Status::IOError("MemFile::Write beyond addressable memory: " +
+                             std::to_string(end));
+    }
     std::unique_lock<std::shared_mutex> lock(data_->mu);
     auto& bytes = data_->bytes;
-    uint64_t end = offset + n;
     if (end > bytes.size()) bytes.resize(static_cast<size_t>(end));
     std::memcpy(bytes.data() + offset, data, n);
     return Status::OK();
@@ -137,87 +153,90 @@ class MemEnv : public Env {
 };
 
 // ---------------------------------------------------------------------------
-// POSIX environment (stdio-based)
+// POSIX environment (fd-based)
 // ---------------------------------------------------------------------------
 
-// A FILE* has one shared cursor, so the fseek+fread/fwrite pairs must not
-// interleave across threads; one mutex per open handle serializes them.
+Status PosixError(const std::string& context, int err) {
+  std::string msg = context + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(msg);
+  return Status::IOError(msg);
+}
+
+// Positional pread/pwrite keep no shared cursor, so concurrent reads from
+// sampler workers need no lock at all; only Append serializes (it must
+// read the size and write at it atomically with respect to other appends
+// through this handle).
 class PosixFile : public File {
  public:
-  explicit PosixFile(std::FILE* f) : f_(f) {}
+  explicit PosixFile(int fd) : fd_(fd) {}
   ~PosixFile() override {
-    if (f_ != nullptr) std::fclose(f_);
+    if (fd_ >= 0) ::close(fd_);
   }
 
   Result<size_t> Read(uint64_t offset, size_t n, char* scratch) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IOError(std::string("fseek: ") + std::strerror(errno));
-    }
-    size_t got = std::fread(scratch, 1, n, f_);
-    if (got < n && std::ferror(f_)) {
-      std::clearerr(f_);
-      return Status::IOError("fread failed");
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, scratch + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pread at " + std::to_string(offset), errno);
+      }
+      if (r == 0) break;  // end of file
+      got += static_cast<size_t>(r);
     }
     return got;
   }
 
   Status Write(uint64_t offset, const char* data, size_t n) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IOError(std::string("fseek: ") + std::strerror(errno));
-    }
-    if (std::fwrite(data, 1, n, f_) != n) {
-      return Status::IOError("fwrite failed");
-    }
-    return Status::OK();
+    return WriteAt(offset, data, n);
   }
 
   Status Append(const char* data, size_t n) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (std::fseek(f_, 0, SEEK_END) != 0) {
-      return Status::IOError(std::string("fseek: ") + std::strerror(errno));
-    }
-    if (std::fwrite(data, 1, n, f_) != n) {
-      return Status::IOError("fwrite failed");
-    }
-    return Status::OK();
+    std::lock_guard<std::mutex> lock(append_mu_);
+    MSV_ASSIGN_OR_RETURN(uint64_t size, Size());
+    return WriteAt(size, data, n);
   }
 
   Result<uint64_t> Size() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    long cur = std::ftell(f_);
-    if (std::fseek(f_, 0, SEEK_END) != 0) {
-      return Status::IOError("fseek failed");
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return PosixError("fstat", errno);
     }
-    long size = std::ftell(f_);
-    std::fseek(f_, cur, SEEK_SET);
-    if (size < 0) return Status::IOError("ftell failed");
-    return static_cast<uint64_t>(size);
+    return static_cast<uint64_t>(st.st_size);
   }
 
   Status Truncate(uint64_t size) override {
-    // stdio has no portable truncate; emulate shrink by rewrite only when
-    // extending (the library only ever extends files).
-    MSV_ASSIGN_OR_RETURN(uint64_t cur, Size());
-    if (size < cur) {
-      return Status::NotSupported("PosixFile::Truncate cannot shrink");
-    }
-    if (size > cur) {
-      char zero = 0;
-      return Write(size - 1, &zero, 1);
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return PosixError("ftruncate to " + std::to_string(size), errno);
     }
     return Status::OK();
   }
 
   Status Sync() override {
-    if (std::fflush(f_) != 0) return Status::IOError("fflush failed");
+    if (::fsync(fd_) != 0) {
+      return PosixError("fsync", errno);
+    }
     return Status::OK();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::FILE* f_;
+  Status WriteAt(uint64_t offset, const char* data, size_t n) {
+    size_t put = 0;
+    while (put < n) {
+      ssize_t w = ::pwrite(fd_, data + put, n - put,
+                           static_cast<off_t>(offset + put));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pwrite at " + std::to_string(offset), errno);
+      }
+      put += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  std::mutex append_mu_;
+  int fd_;
 };
 
 class PosixEnv : public Env {
@@ -229,43 +248,82 @@ class PosixEnv : public Env {
   Result<std::unique_ptr<File>> OpenFile(const std::string& name,
                                          bool create) override {
     std::string path = root_ + name;
-    std::FILE* f = std::fopen(path.c_str(), "r+b");
-    if (f == nullptr) {
-      if (!create) return Status::NotFound("no such file: " + path);
-      f = std::fopen(path.c_str(), "w+b");
-      if (f == nullptr) {
-        return Status::IOError("cannot create " + path + ": " +
-                               std::strerror(errno));
-      }
+    int flags = O_RDWR | O_CLOEXEC;
+    if (create) flags |= O_CREAT;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return PosixError("open " + path, errno);
     }
-    return std::unique_ptr<File>(new PosixFile(f));
+    return std::unique_ptr<File>(new PosixFile(fd));
   }
 
   Status DeleteFile(const std::string& name) override {
     std::string path = root_ + name;
-    if (std::remove(path.c_str()) != 0) {
-      return Status::NotFound("cannot remove " + path);
+    if (::unlink(path.c_str()) != 0) {
+      // Only a missing file is NotFound; EACCES, EISDIR, ... are I/O
+      // errors the caller must not mistake for "already gone".
+      return PosixError("unlink " + path, errno);
     }
     return Status::OK();
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
-    if (std::rename((root_ + from).c_str(), (root_ + to).c_str()) != 0) {
-      return Status::IOError("rename " + from + " -> " + to + " failed");
+    if (::rename((root_ + from).c_str(), (root_ + to).c_str()) != 0) {
+      return PosixError("rename " + from + " -> " + to, errno);
     }
     return Status::OK();
   }
 
   Result<bool> FileExists(const std::string& name) override {
     std::string path = root_ + name;
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) return false;
-    std::fclose(f);
-    return true;
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    // ENOENT: definitively absent. ENOTDIR: a path component is a file,
+    // so `name` cannot exist either. Anything else (EACCES, EMFILE, ...)
+    // means we could not determine existence — surface the error.
+    if (errno == ENOENT || errno == ENOTDIR) return false;
+    return PosixError("stat " + path, errno);
   }
 
   Result<std::vector<std::string>> ListFiles() override {
-    return Status::NotSupported("PosixEnv::ListFiles");
+    std::string dir = root_.empty() ? "." : root_;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return PosixError("opendir " + dir, errno);
+    }
+    std::vector<std::string> names;
+    errno = 0;
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string n = entry->d_name;
+      if (n == "." || n == "..") continue;
+      // Only regular files participate in the Env namespace.
+      struct stat st;
+      if (::stat((dir + n).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+        names.push_back(std::move(n));
+      }
+      errno = 0;
+    }
+    int err = errno;
+    ::closedir(d);
+    if (err != 0) {
+      return PosixError("readdir " + dir, err);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status SyncDir() override {
+    std::string dir = root_.empty() ? "." : root_;
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) {
+      return PosixError("open dir " + dir, errno);
+    }
+    Status st = Status::OK();
+    if (::fsync(fd) != 0) {
+      st = PosixError("fsync dir " + dir, errno);
+    }
+    ::close(fd);
+    return st;
   }
 
  private:

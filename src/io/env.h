@@ -47,7 +47,14 @@ class File {
   /// Truncates or extends the file to exactly `size` bytes.
   virtual Status Truncate(uint64_t size) = 0;
 
-  /// Flushes buffered data to stable storage (no-op for MemEnv).
+  /// Flushes this file's data to stable storage. Durability contract per
+  /// backend (see DESIGN.md §9):
+  ///   * MemEnv   - no-op (memory is the storage);
+  ///   * PosixEnv - fsync(2) on the descriptor, so the data survives a
+  ///     crash — but a *newly created* file's directory entry does not
+  ///     until Env::SyncDir() is also called;
+  ///   * FaultInjectionEnv - marks the current contents as surviving a
+  ///     simulated crash (DropUnsyncedData).
   virtual Status Sync() = 0;
 
   /// Reads exactly `n` bytes or fails with IOError.
@@ -70,8 +77,17 @@ class Env {
   /// Atomically replaces `to` (if any) with `from`. `from` must exist.
   virtual Status RenameFile(const std::string& from,
                             const std::string& to) = 0;
+  /// Returns true iff `name` exists. Errors other than "not found" (for
+  /// PosixEnv: EACCES, EMFILE, ...) surface as a Status, never as `false`.
   virtual Result<bool> FileExists(const std::string& name) = 0;
   virtual Result<std::vector<std::string>> ListFiles() = 0;
+
+  /// Flushes directory metadata to stable storage. After a file is created
+  /// or renamed, its directory entry is only crash-durable once SyncDir()
+  /// returns OK (the atomic-build protocol is: write `<name>.tmp`, Sync()
+  /// it, RenameFile() to `<name>`, SyncDir()). Backends without a real
+  /// directory (MemEnv) inherit this no-op default.
+  virtual Status SyncDir() { return Status::OK(); }
 
   /// Process-wide in-memory environment (never nullptr).
   static Env* Memory();

@@ -1,0 +1,106 @@
+// Fault-injecting Env decorator for crash-safety testing.
+//
+// FaultInjectionEnv wraps any inner Env and gives tests three levers:
+//
+//   1. Deterministic faults: every state-touching operation (open, read,
+//      write, append, sync, truncate, delete, rename, dir-sync) consumes
+//      one slot of a monotone operation counter. ArmFault(k, mode) makes
+//      the operation with index k fail — with a clean Status, a short
+//      read, or a torn (half-completed) write. With sticky faults (the
+//      default) every later operation fails too, which models a device
+//      that died and stays dead. Sweeping k from 0 upward visits every
+//      crash point of a workload exactly once.
+//
+//   2. A crash model: the env tracks which bytes would survive a power
+//      loss under POSIX rules. File contents become durable when the file
+//      is Sync()ed; directory entries (creations, renames, deletions)
+//      become durable only at the next SyncDir(). DropUnsyncedData()
+//      simulates the crash+restart: files whose entries were never
+//      dir-synced vanish, surviving files roll back to their last synced
+//      bytes. Callers must drop outstanding File handles first — handles
+//      from before the "crash" alias pre-crash state.
+//
+//   3. Observability: io.fault.* counters in the global metric registry
+//      (ops, injected_errors, short_reads, short_writes, crashes).
+//
+// The decorator is thread-safe: the op counter and durability maps are
+// guarded by one mutex, so concurrent samplers hitting an armed fault all
+// observe clean injected Statuses.
+
+#ifndef MSV_IO_FAULT_ENV_H_
+#define MSV_IO_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace msv::io {
+
+/// What happens at the armed operation index.
+enum class FaultMode {
+  /// The operation fails with Status::IOError before touching the inner
+  /// env (and, when sticky, so does every later operation).
+  kError,
+  /// If the armed operation is a Read, it returns only half the bytes the
+  /// inner read produced; any other operation type fails as kError.
+  kShortRead,
+  /// If the armed operation is a Write/Append, the first half of the
+  /// payload reaches the inner file and the call still returns IOError —
+  /// a torn write; any other operation type fails as kError.
+  kShortWrite,
+};
+
+namespace internal {
+struct FaultState;
+}  // namespace internal
+
+class FaultInjectionEnv : public Env {
+ public:
+  /// Wraps `inner`, which must outlive this env. Files already present in
+  /// `inner` are snapshotted as fully durable (they "predate the crash").
+  explicit FaultInjectionEnv(Env* inner);
+  ~FaultInjectionEnv() override;
+
+  // --- Env interface -----------------------------------------------------
+  Result<std::unique_ptr<File>> OpenFile(const std::string& name,
+                                         bool create) override;
+  Status DeleteFile(const std::string& name) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Result<bool> FileExists(const std::string& name) override;
+  Result<std::vector<std::string>> ListFiles() override;
+  Status SyncDir() override;
+
+  // --- Fault control ------------------------------------------------------
+  /// Arms a fault at operation index `fail_at_op` (indices are 0-based and
+  /// count from env construction; see op_count()). With `sticky`, every
+  /// operation at index >= fail_at_op fails, modeling a dead device.
+  void ArmFault(int64_t fail_at_op, FaultMode mode = FaultMode::kError,
+                bool sticky = true);
+  /// Disarms any pending fault; subsequent operations succeed again.
+  void ClearFault();
+  /// Number of counted operations issued so far (failed ones included).
+  int64_t op_count() const;
+  /// True once an armed fault has actually fired.
+  bool fault_fired() const;
+
+  // --- Crash model --------------------------------------------------------
+  /// Simulates power loss + restart: reverts the inner env to the durable
+  /// image (last-synced bytes of files whose directory entries were
+  /// dir-synced; everything else vanishes). Any File handles opened before
+  /// this call are invalid afterwards. Disarm faults first if the workload
+  /// being recovered should run clean.
+  Status DropUnsyncedData();
+
+ private:
+  std::shared_ptr<internal::FaultState> state_;
+};
+
+/// Convenience factory mirroring NewMemEnv/NewPosixEnv.
+std::unique_ptr<FaultInjectionEnv> NewFaultInjectionEnv(Env* inner);
+
+}  // namespace msv::io
+
+#endif  // MSV_IO_FAULT_ENV_H_

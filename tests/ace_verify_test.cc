@@ -55,6 +55,16 @@ class AceVerifyTest : public ::testing::Test {
     MSV_ASSERT_OK(file->Write(off, bytes, n));
   }
 
+  /// XORs one bit of the byte at absolute file offset `off` (a guaranteed
+  /// change, unlike overwriting with a constant).
+  void FlipBit(uint64_t off) {
+    auto file = ValueOrDie(env_->OpenFile("ace", /*create=*/false));
+    char byte;
+    MSV_ASSERT_OK(file->ReadExact(off, 1, &byte));
+    byte = static_cast<char>(byte ^ 0x40);
+    MSV_ASSERT_OK(file->Write(off, &byte, 1));
+  }
+
   /// Rewrites the trailing masked CRC of the leaf blob at `loc` so that
   /// semantic corruption survives the checksum check.
   void FixLeafChecksum(const LeafLocation& loc) {
@@ -64,6 +74,28 @@ class AceVerifyTest : public ::testing::Test {
     char crc[4];
     EncodeFixed32(crc, MaskCrc(Crc32c(blob.data(), blob.size() - 4)));
     MSV_ASSERT_OK(file->Write(loc.offset + loc.length - 4, crc, 4));
+  }
+
+  /// Recomputes the superblock's internal/directory region CRCs from the
+  /// (possibly clobbered) file bytes, so semantic corruption survives the
+  /// format-v2 region checksums and reaches the invariant checks.
+  void FixRegionChecksums() {
+    auto file = ValueOrDie(env_->OpenFile("ace", /*create=*/false));
+    char super[kSuperblockSize];
+    MSV_ASSERT_OK(file->ReadExact(0, sizeof(super), super));
+    AceMeta meta = ValueOrDie(DecodeSuperblock(super));
+    std::string bytes(meta.num_internal_nodes() * kInternalNodeSize, '\0');
+    if (!bytes.empty()) {
+      MSV_ASSERT_OK(
+          file->ReadExact(meta.internal_offset, bytes.size(), bytes.data()));
+    }
+    meta.internal_crc = MaskCrc(Crc32c(bytes.data(), bytes.size()));
+    bytes.assign(meta.num_leaves * kDirectoryEntrySize, '\0');
+    MSV_ASSERT_OK(
+        file->ReadExact(meta.directory_offset, bytes.size(), bytes.data()));
+    meta.directory_crc = MaskCrc(Crc32c(bytes.data(), bytes.size()));
+    EncodeSuperblock(super, meta);
+    MSV_ASSERT_OK(file->Write(0, super, sizeof(super)));
   }
 
   std::unique_ptr<io::Env> env_;
@@ -172,6 +204,7 @@ TEST_F(AceVerifyTest, BrokenInternalCountsAreCaught) {
   char bogus[8];
   EncodeFixed64(bogus, 123456789);
   Clobber(node_off, bogus, sizeof(bogus));
+  FixRegionChecksums();  // let the semantic check, not the CRC, object
 
   Reopen();
   InvariantReport report = tree_->CheckInvariants();
@@ -184,12 +217,46 @@ TEST_F(AceVerifyTest, MaxViolationsTruncatesReport) {
   // Zero out the whole directory: every leaf becomes unreadable.
   std::string zeros(tree_->meta().num_leaves * kDirectoryEntrySize, '\0');
   Clobber(tree_->meta().directory_offset, zeros.data(), zeros.size());
+  FixRegionChecksums();  // let the semantic check, not the CRC, object
   Reopen();
   InvariantReport report =
       tree_->CheckInvariants(InvariantCheckOptions{.max_violations = 3});
   ASSERT_FALSE(report.ok());
   EXPECT_LE(report.violations.size(), 3u);
   EXPECT_TRUE(report.truncated);
+}
+
+TEST_F(AceVerifyTest, InternalRegionBitFlipRejectedAtOpen) {
+  Build(20000, 4);
+  FlipBit(tree_->meta().internal_offset + 3);
+  auto reopened = AceTree::Open(env_.get(), "ace", layout_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption())
+      << reopened.status().ToString();
+}
+
+TEST_F(AceVerifyTest, DirectoryBitFlipRejectedAtOpen) {
+  Build(20000, 4);
+  FlipBit(tree_->meta().directory_offset + 5);
+  auto reopened = AceTree::Open(env_.get(), "ace", layout_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption())
+      << reopened.status().ToString();
+}
+
+TEST_F(AceVerifyTest, RegionCorruptionAfterOpenCaughtByRecheck) {
+  Build(20000, 4);
+  // Corrupt the on-disk directory bytes while the tree stays open: the
+  // MemEnv handles alias the same data, so CheckInvariants' region
+  // re-read (the "regions" phase) must object even though Open passed.
+  FlipBit(tree_->meta().directory_offset + 1);
+  InvariantReport report = tree_->CheckInvariants();
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& v : report.violations) {
+    if (v.detail.find("directory checksum") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << report.ToString();
 }
 
 }  // namespace

@@ -29,6 +29,11 @@ Custom rules (things clang-tidy cannot express for this repo):
                          instrumented accessors in src/io/disk_model.cc
                          and src/io/buffer_pool.cc, which keep the
                          structs and the metrics registry in lock-step.
+  msv-no-raw-seek        no fseek/fseeko/ftell/ftello/rewind in src/
+                         outside the Env implementation (src/io/env.cc).
+                         Seek-then-read on a shared FILE* races and the
+                         long offset truncates past 2 GiB; all file I/O
+                         goes through Env's positional Read/Write.
 
 A finding is suppressed by `// NOLINT` or `// NOLINT(<rule>)` on the
 same line. Exit code: 0 clean, 1 findings, 2 usage/environment error.
@@ -267,6 +272,35 @@ def check_stats_direct(path: Path, lines: list[str],
                 "sync"))
 
 
+# --- msv-no-raw-seek -------------------------------------------------------
+
+# Seek-based stdio positioning in library code: `fseek(f, long, ...)`
+# silently truncates offsets past 2 GiB, and seek-then-read on a FILE*
+# shared across threads races the cursor. Env's positional Read/Write
+# (pread/pwrite underneath) has neither problem, so raw seeks are only
+# tolerated inside the Env implementation itself.
+RAW_SEEK_ALLOWED = {
+    ("src", "io", "env.cc"),
+}
+RAW_SEEK_RE = re.compile(r"(?<![\w.])(?:fseeko?|ftello?|rewind)\s*\(")
+
+
+def check_raw_seek(path: Path, lines: list[str], findings: list[Finding]):
+    rel = path.relative_to(REPO_ROOT)
+    if rel.parts[0] != "src" or rel.parts in RAW_SEEK_ALLOWED:
+        return
+    for no, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if RAW_SEEK_RE.search(line):
+            if is_suppressed(raw, "msv-no-raw-seek"):
+                continue
+            findings.append(Finding(
+                path, no, "msv-no-raw-seek",
+                "raw fseek/ftell/rewind outside src/io/env.cc — stdio "
+                "offsets truncate past 2 GiB and seek-then-read races; "
+                "use Env's positional Read/Write"))
+
+
 # --- clang-tidy ------------------------------------------------------------
 
 def run_clang_tidy(paths: list[Path], require: bool) -> int:
@@ -343,6 +377,7 @@ def main() -> int:
         check_naked_new(path, lines, findings)
         check_bare_assert(path, lines, findings)
         check_stats_direct(path, lines, findings)
+        check_raw_seek(path, lines, findings)
 
     for f in findings:
         print(f)

@@ -3,8 +3,10 @@
 //
 // Usage:
 //   msv_inspect <dir> stats <file>        print geometry + size breakdown
-//   msv_inspect <dir> verify <file>       full scrub: checksums, headers,
-//                                         counts, section containment
+//   msv_inspect <dir> verify <file>       full scrub: per-page leaf CRCs,
+//                                         format-v2 region checksums
+//                                         (internal nodes + directory),
+//                                         headers, counts, containment
 //   msv_inspect <dir> leaf <file> <n>     dump one leaf's section sizes
 //   msv_inspect <dir> histogram <file>    leaf-size histogram
 //
@@ -114,9 +116,11 @@ int CmdVerify(io::Env* env, const std::string& name) {
                  tree_or.status().ToString().c_str());
     return 1;
   }
-  // Full structural scrub: checksums, headers, directory geometry,
-  // split-tree counts, Lemma-1 disjointness, Lemma-2 section sizes and
-  // leaf-set partitioning (see AceTree::CheckInvariants).
+  // Full structural scrub: per-page leaf CRCs, the format-v2 region
+  // checksums over the internal-node and directory regions (re-read from
+  // disk, so corruption after Open is still caught), headers, directory
+  // geometry, split-tree counts, Lemma-1 disjointness, Lemma-2 section
+  // sizes and leaf-set partitioning (see AceTree::CheckInvariants).
   core::InvariantReport report = tree_or.value()->CheckInvariants();
   const int rc = report.ok() ? 0 : 1;
   if (report.ok()) {
