@@ -131,9 +131,30 @@ void WriteCsv(const std::string& name,
   std::fprintf(stderr, "[wrote bench_results/%s]\n", name.c_str());
 }
 
+namespace {
+/// Best-effort `git rev-parse --short HEAD`, so every BENCH_*.json pins
+/// the source revision it was measured at. "unknown" outside a checkout.
+std::string GitShaOrUnknown() {
+  std::string sha = "unknown";
+  if (FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) sha = line;
+    }
+    ::pclose(pipe);
+  }
+  return sha;
+}
+}  // namespace
+
 void WriteBenchJson(const std::string& name, const obs::Json& numbers) {
   obs::Json record = obs::Json::Object();
   record["bench"] = obs::Json(name);
+  record["git_sha"] = obs::Json(GitShaOrUnknown());
   record["numbers"] = numbers;
   record["metrics"] = obs::MetricRegistry::Global().Snapshot().ToJson();
   std::filesystem::create_directories("bench_results");

@@ -69,7 +69,8 @@ Result<std::string> Phase1OneDim(io::Env* env, const std::string& input_name,
 
   MSV_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> sorted,
                        HeapFile::Open(env, sorted_name));
-  auto scanner = sorted->NewScanner();
+  auto scanner =
+      sorted->NewScanner(4 << 20, /*readahead=*/options.sort.batched_io);
   uint64_t next_m = 1;
   double first_key = 0.0, last_key = 0.0;
   for (uint64_t r = 0; r < num_records; ++r) {
@@ -116,7 +117,8 @@ Status Phase1MultiDim(io::Env* env, const std::string& input_name,
     root->hi[d] = -std::numeric_limits<double>::infinity();
   }
 
-  auto scanner = input->NewScanner();
+  auto scanner =
+      input->NewScanner(4 << 20, /*readahead=*/options.sort.batched_io);
   for (;;) {
     MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
     if (rec == nullptr) break;
@@ -280,7 +282,8 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
     Pcg64 rng(options.seed);
     std::vector<char> buf(tagged_size);
     double keys[storage::kMaxKeyDims] = {0};
-    auto scanner = in->NewScanner();
+    auto scanner =
+        in->NewScanner(4 << 20, /*readahead=*/options.sort.batched_io);
     for (;;) {
       MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
       if (rec == nullptr) break;
@@ -361,8 +364,26 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
     {
       MSV_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> placed,
                            HeapFile::Open(env, placed_name));
-      auto scanner = placed->NewScanner();
+      auto scanner =
+          placed->NewScanner(4 << 20, /*readahead=*/options.sort.batched_io);
       MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
+
+      // Leaf blobs accumulate here and flush as one large write, so the
+      // read (placed scan) / write (leaf region) interleave costs one
+      // seek pair per buffer-full instead of one per leaf. A zero
+      // threshold (batching off) degenerates to one write per leaf.
+      const size_t write_buffer_bytes =
+          options.sort.batched_io ? size_t{4} << 20 : 0;
+      std::string pending;
+      uint64_t pending_off = write_off;
+      auto flush_pending = [&]() -> Status {
+        if (pending.empty()) return Status::OK();
+        MSV_RETURN_IF_ERROR(
+            out->Write(pending_off, pending.data(), pending.size()));
+        pending_off += pending.size();
+        pending.clear();
+        return Status::OK();
+      };
 
       std::string blob;  // one leaf's serialized bytes
       std::vector<uint32_t> section_counts(height);
@@ -387,10 +408,14 @@ Status BuildAceTree(io::Env* env, const std::string& input_name,
         char crc[4];
         EncodeFixed32(crc, MaskCrc(Crc32c(blob.data(), blob.size())));
         blob.append(crc, sizeof(crc));
-        MSV_RETURN_IF_ERROR(out->Write(write_off, blob.data(), blob.size()));
+        pending.append(blob);
         directory[leaf] = LeafLocation{write_off, blob.size()};
         write_off += blob.size();
+        if (pending.size() >= write_buffer_bytes) {
+          MSV_RETURN_IF_ERROR(flush_pending());
+        }
       }
+      MSV_RETURN_IF_ERROR(flush_pending());
       MSV_CHECK_MSG(rec == nullptr, "records left after final leaf");
     }
 

@@ -116,9 +116,47 @@ void ApportionDiskUsAcrossLevels(uint64_t delta_us, const LeafData& leaf,
   }
 }
 
+std::vector<uint64_t> ApportionDiskUsAcrossLeaves(
+    uint64_t delta_us, const std::vector<LeafData>& leaves) {
+  std::vector<uint64_t> shares(leaves.size(), 0);
+  if (leaves.empty()) return shares;
+  uint64_t total_bytes = 0;
+  std::vector<uint64_t> leaf_bytes(leaves.size(), 0);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    for (const std::string& s : leaves[i].sections) leaf_bytes[i] += s.size();
+    total_bytes += leaf_bytes[i];
+  }
+  if (total_bytes == 0) {
+    shares[0] = delta_us;
+    return shares;
+  }
+  uint64_t assigned = 0;
+  std::vector<std::pair<uint64_t, size_t>> remainders;  // (remainder, index)
+  remainders.reserve(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    uint64_t numer = delta_us * leaf_bytes[i];
+    shares[i] = numer / total_bytes;
+    assigned += shares[i];
+    remainders.emplace_back(numer % total_bytes, i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (uint64_t r = delta_us - assigned, i = 0; r > 0; --r, ++i) {
+    ++shares[remainders[i % remainders.size()].second];
+  }
+  return shares;
+}
+
 AceSampler::AceSampler(const AceTree* tree, sampling::RangeQuery query,
                        uint64_t seed)
-    : tree_(tree), query_(query), rng_(seed) {
+    : AceSampler(tree, query, seed, AceSamplerOptions{}) {}
+
+AceSampler::AceSampler(const AceTree* tree, sampling::RangeQuery query,
+                       uint64_t seed, const AceSamplerOptions& options)
+    : tree_(tree), query_(query), options_(options), rng_(seed) {
   MSV_CHECK_MSG(query_.Validate(tree_->layout()).ok(), "invalid query");
   MSV_CHECK_MSG(query_.dims == tree_->meta().key_dims,
                 "query dims must match the tree's indexed dims");
@@ -160,7 +198,58 @@ void AceSampler::EmitLevelSpans() {
   span_.End();
 }
 
+Status AceSampler::FillPending() {
+  // Pull the next window of stab positions. The cursor is the sole
+  // authority on order; prefetching only changes *when* the bytes move,
+  // never which leaf feeds the combiner next.
+  const size_t window = options_.io_batch_window;
+  std::vector<uint64_t> heap_ids;
+  while (!cursor_->exhausted() &&
+         (window == 0 || heap_ids.size() < window)) {
+    uint64_t id = cursor_->NextLeafId();
+    if (id == 0) break;
+    heap_ids.push_back(id);
+  }
+  if (heap_ids.empty()) {
+    return Status::Internal("stab on an exhausted cursor");
+  }
+  std::vector<uint64_t> leaf_indices;
+  leaf_indices.reserve(heap_ids.size());
+  for (uint64_t id : heap_ids) {
+    leaf_indices.push_back(tree_->splits().LeafIndexOf(id));
+  }
+  uint64_t busy_before = io::ThreadDiskBusyUs();
+  MSV_ASSIGN_OR_RETURN(std::vector<LeafData> leaves,
+                       tree_->ReadLeaves(leaf_indices));
+  std::vector<uint64_t> shares = ApportionDiskUsAcrossLeaves(
+      io::ThreadDiskBusyUs() - busy_before, leaves);
+  for (size_t i = 0; i < heap_ids.size(); ++i) {
+    pending_.push_back(
+        PendingLeaf{heap_ids[i], std::move(leaves[i]), shares[i]});
+  }
+  return Status::OK();
+}
+
 Status AceSampler::Stab(sampling::SampleBatch* out) {
+  if (options_.io_batch_window != 1) {
+    if (pending_.empty()) MSV_RETURN_IF_ERROR(FillPending());
+    PendingLeaf p = std::move(pending_.front());
+    pending_.pop_front();
+    // Attribution, read order and counters are recorded at *consumption*
+    // (stab order), so diagnostics match the serial path exactly.
+    ApportionDiskUsAcrossLevels(p.disk_us, p.leaf, tree_->meta().height,
+                                &level_disk_us_);
+    ++leaves_read_;
+    c_leaf_reads_->Add();
+    leaf_read_order_.push_back(p.leaf.leaf_index);
+    combiner_->AddLeaf(p.heap_id, p.leaf, out, &rng_);
+    if (cursor_->exhausted() && pending_.empty()) {
+      combiner_->Flush(out, &rng_);
+      finished_ = true;
+    }
+    return Status::OK();
+  }
+
   uint64_t id = cursor_->NextLeafId();
   if (id == 0) {
     return Status::Internal("stab on an exhausted cursor");

@@ -14,6 +14,7 @@
 #ifndef MSV_CORE_ACE_SAMPLER_H_
 #define MSV_CORE_ACE_SAMPLER_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,12 +68,34 @@ void ApportionDiskUsAcrossLevels(uint64_t delta_us, const LeafData& leaf,
                                  uint32_t height,
                                  std::vector<uint64_t>* level_us);
 
+/// Splits one batched read's disk-µs delta across the leaves it fetched,
+/// proportionally to each leaf's total bytes, largest-remainder rounding.
+/// The returned shares (one per leaf) sum to exactly `delta_us`, so the
+/// per-leaf → per-level apportionment chain still reconciles with
+/// DiskStats to the microsecond.
+std::vector<uint64_t> ApportionDiskUsAcrossLeaves(
+    uint64_t delta_us, const std::vector<LeafData>& leaves);
+
+struct AceSamplerOptions {
+  /// How many upcoming stab leaves to fetch per batched read. 1 (the
+  /// default) keeps the historical one-leaf-per-NextBatch I/O pattern;
+  /// 0 means unlimited (fetch the query's whole remaining leaf set in one
+  /// elevator-ordered batch — the to-completion configuration). Values
+  /// above 1 trade first-sample latency for coalesced seeks: the stab
+  /// order is bit-reversal-like, so a window of W covers leaves roughly
+  /// F/W apart and only wide windows produce physical adjacency. The
+  /// emitted sample stream is byte-identical for every window value.
+  size_t io_batch_window = 1;
+};
+
 class AceSampler : public sampling::SampleStream {
  public:
   /// `seed` drives only presentation-order shuffling of emitted rounds —
   /// which records are returned when is fully determined by the tree
   /// contents and the deterministic stab order.
   AceSampler(const AceTree* tree, sampling::RangeQuery query, uint64_t seed);
+  AceSampler(const AceTree* tree, sampling::RangeQuery query, uint64_t seed,
+             const AceSamplerOptions& options);
   ~AceSampler() override;
 
   Result<sampling::SampleBatch> NextBatch() override;
@@ -105,8 +128,21 @@ class AceSampler : public sampling::SampleStream {
   }
 
  private:
+  /// A leaf fetched ahead of consumption by a batched read, waiting for
+  /// its stab turn. disk_us is the leaf's apportioned share of the
+  /// batch's busy delta.
+  struct PendingLeaf {
+    uint64_t heap_id = 0;
+    LeafData leaf;
+    uint64_t disk_us = 0;
+  };
+
   /// One stab; appends emitted samples to `out`.
   Status Stab(sampling::SampleBatch* out);
+
+  /// Pulls up to io_batch_window leaf ids from the cursor and fetches
+  /// them with one elevator-ordered batched read into pending_.
+  Status FillPending();
 
   /// Closes out the trace: one child span per section level carrying the
   /// level's leaf-section visits, emitted samples and disk µs. Runs once,
@@ -115,9 +151,11 @@ class AceSampler : public sampling::SampleStream {
 
   const AceTree* tree_;
   sampling::RangeQuery query_;
+  AceSamplerOptions options_;
   Pcg64 rng_;
   std::unique_ptr<CombineEngine> combiner_;
   std::unique_ptr<StabCursor> cursor_;
+  std::deque<PendingLeaf> pending_;
 
   uint64_t returned_ = 0;
   uint64_t leaves_read_ = 0;

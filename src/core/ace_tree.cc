@@ -1,5 +1,6 @@
 #include "core/ace_tree.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/coding.h"
@@ -93,7 +94,60 @@ Result<LeafData> AceTree::ReadLeaf(uint64_t leaf_index) const {
   const LeafLocation& loc = directory_[leaf_index];
   std::string blob(loc.length, '\0');
   MSV_RETURN_IF_ERROR(file_->ReadExact(loc.offset, loc.length, blob.data()));
+  return ParseLeafBlob(std::move(blob), leaf_index);
+}
 
+Result<std::vector<LeafData>> AceTree::ReadLeaves(
+    const std::vector<uint64_t>& leaf_indices) const {
+  for (uint64_t idx : leaf_indices) {
+    if (idx >= meta_.num_leaves) {
+      return Status::OutOfRange("leaf index out of range");
+    }
+  }
+  // Elevator (SCAN) schedule: issue requests in ascending physical offset
+  // so adjacent leaves become contiguous in array order, which is what
+  // File::ReadBatch coalesces into single modeled accesses.
+  std::vector<size_t> order(leaf_indices.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    uint64_t oa = directory_[leaf_indices[a]].offset;
+    uint64_t ob = directory_[leaf_indices[b]].offset;
+    if (oa != ob) return oa < ob;
+    return a < b;
+  });
+
+  std::vector<std::string> blobs(leaf_indices.size());
+  std::vector<io::ReadRequest> reqs(leaf_indices.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    const size_t pos = order[k];
+    const LeafLocation& loc = directory_[leaf_indices[pos]];
+    blobs[pos].resize(loc.length);
+    reqs[k].offset = loc.offset;
+    reqs[k].n = loc.length;
+    reqs[k].scratch = blobs[pos].data();
+  }
+  MSV_RETURN_IF_ERROR(file_->ReadBatch(reqs.data(), reqs.size()));
+  for (size_t k = 0; k < reqs.size(); ++k) {
+    if (reqs[k].got != reqs[k].n) {
+      return Status::IOError(
+          "short read: wanted " + std::to_string(reqs[k].n) +
+          " bytes at offset " + std::to_string(reqs[k].offset) + ", got " +
+          std::to_string(reqs[k].got));
+    }
+  }
+
+  std::vector<LeafData> leaves;
+  leaves.reserve(leaf_indices.size());
+  for (size_t i = 0; i < leaf_indices.size(); ++i) {
+    MSV_ASSIGN_OR_RETURN(LeafData leaf,
+                         ParseLeafBlob(std::move(blobs[i]), leaf_indices[i]));
+    leaves.push_back(std::move(leaf));
+  }
+  return leaves;
+}
+
+Result<LeafData> AceTree::ParseLeafBlob(std::string blob,
+                                        uint64_t leaf_index) const {
   if (blob.size() < 4) {
     return Status::Corruption("leaf blob shorter than its checksum");
   }

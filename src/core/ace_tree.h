@@ -114,6 +114,15 @@ class AceTree {
   /// costs only one seek, per the paper's variable-size-leaf scheme).
   Result<LeafData> ReadLeaf(uint64_t leaf_index) const;
 
+  /// Reads a set of leaves with one batched I/O call. Requests are issued
+  /// in elevator order (ascending physical offset), so runs of leaves
+  /// that are adjacent on disk — the builder lays leaves out contiguously
+  /// in index order — coalesce into single modeled accesses. Results are
+  /// returned in *input* order, so callers' consumption order (and hence
+  /// the sample stream) is unaffected by the I/O schedule.
+  Result<std::vector<LeafData>> ReadLeaves(
+      const std::vector<uint64_t>& leaf_indices) const;
+
   /// Exact number of records in heap node `heap_id`'s box (from the
   /// persisted cnt_l/cnt_r; heap_id may be internal or a leaf cell).
   uint64_t NodeCount(uint64_t heap_id) const;
@@ -147,6 +156,9 @@ class AceTree {
         directory_(std::move(directory)),
         node_counts_(std::move(node_counts)),
         file_bytes_(file_bytes) {}
+
+  /// Checksum-verifies and decodes one raw leaf blob (consumed).
+  Result<LeafData> ParseLeafBlob(std::string blob, uint64_t leaf_index) const;
 
   std::unique_ptr<io::File> file_;
   storage::RecordLayout layout_;

@@ -42,6 +42,8 @@ ParallelAceSampler::ParallelAceSampler(const AceTree* tree,
   size_t threads = std::max<size_t>(1, options.threads);
   threads = std::min(threads, order_.empty() ? size_t{1} : order_.size());
   window_ = options.prefetch_window ? options.prefetch_window : 2 * threads;
+  read_batch_ = options.read_batch ? options.read_batch
+                                   : std::max<size_t>(1, window_ / threads);
   span_.AddAttr("threads", static_cast<uint64_t>(threads));
   if (!finished_) {
     workers_.reserve(threads);
@@ -65,7 +67,7 @@ ParallelAceSampler::~ParallelAceSampler() {
 void ParallelAceSampler::WorkerLoop(size_t worker_index) {
   obs::SetThreadLabel("ace-par-w" + std::to_string(worker_index));
   for (;;) {
-    size_t pos;
+    size_t begin, end;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
@@ -73,25 +75,42 @@ void ParallelAceSampler::WorkerLoop(size_t worker_index) {
                next_claim_ < consumed_ + window_;
       });
       if (stop_ || next_claim_ >= order_.size()) return;
-      pos = next_claim_++;
+      // Claim a chunk of consecutive stab positions, capped by the
+      // remaining reorder-window space so the consumer's memory bound
+      // still holds (the wait predicate guarantees at least one slot).
+      begin = next_claim_;
+      end = std::min({order_.size(), begin + read_batch_,
+                      consumed_ + window_});
+      next_claim_ = end;
     }
 
     // The read happens outside mu_ so workers overlap in the buffer pool
-    // and on the (serialized) disk arm; the busy delta is this thread's
-    // own attribution.
+    // and on the (serialized) disk arm; ReadLeaves issues the chunk in
+    // elevator order and coalesces adjacent leaves. The busy delta is
+    // this thread's own attribution, split across the chunk's leaves.
+    std::vector<uint64_t> indices;
+    indices.reserve(end - begin);
+    for (size_t pos = begin; pos < end; ++pos) {
+      indices.push_back(order_[pos].second);
+    }
     uint64_t busy_before = io::ThreadDiskBusyUs();
-    Result<LeafData> leaf = tree_->ReadLeaf(order_[pos].second);
+    Result<std::vector<LeafData>> leaves = tree_->ReadLeaves(indices);
     uint64_t delta = io::ThreadDiskBusyUs() - busy_before;
 
     std::lock_guard<std::mutex> lock(mu_);
-    if (!leaf.ok()) {
-      if (worker_error_.ok()) worker_error_ = leaf.status();
+    if (!leaves.ok()) {
+      if (worker_error_.ok()) worker_error_ = leaves.status();
       stop_ = true;
       work_cv_.notify_all();
       ready_cv_.notify_all();
       return;
     }
-    fetched_.emplace(pos, Fetched{std::move(leaf).value(), delta});
+    std::vector<uint64_t> shares =
+        ApportionDiskUsAcrossLeaves(delta, *leaves);
+    for (size_t pos = begin; pos < end; ++pos) {
+      fetched_.emplace(pos, Fetched{std::move((*leaves)[pos - begin]),
+                                    shares[pos - begin]});
+    }
     ready_cv_.notify_all();
   }
 }

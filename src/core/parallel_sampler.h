@@ -42,6 +42,12 @@ class ParallelAceSampler : public sampling::SampleStream {
     /// Maximum leaves fetched ahead of the consumer. 0 picks 2*threads.
     /// Bounds both memory and how far workers run ahead.
     size_t prefetch_window = 0;
+    /// Leaves a worker claims per batched read. Claimed chunks are read
+    /// with AceTree::ReadLeaves (elevator order, adjacent leaves
+    /// coalesced into single modeled accesses); the consumer still
+    /// drains positions strictly in stab order, so the output stream is
+    /// unchanged. 0 picks max(1, prefetch_window / threads).
+    size_t read_batch = 0;
   };
 
   /// Same seed semantics as AceSampler: `seed` drives only the
@@ -92,6 +98,7 @@ class ParallelAceSampler : public sampling::SampleStream {
   /// Stab order as (heap id, leaf index) pairs, fixed at construction.
   std::vector<std::pair<uint64_t, uint64_t>> order_;
   size_t window_ = 0;
+  size_t read_batch_ = 1;
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait: window space

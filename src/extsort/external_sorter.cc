@@ -36,7 +36,7 @@ Result<std::vector<std::string>> FormRuns(io::Env* env, const HeapFile& input,
   std::vector<const char*> ptrs;
   ptrs.reserve(chunk_records);
 
-  auto scanner = input.NewScanner();
+  auto scanner = input.NewScanner(4 << 20, options.batched_io);
   uint64_t remaining = input.record_count();
   while (remaining > 0) {
     size_t n = static_cast<size_t>(
@@ -56,9 +56,15 @@ Result<std::vector<std::string>> FormRuns(io::Env* env, const HeapFile& input,
               [&less](const char* a, const char* b) { return less(a, b); });
 
     std::string run_name = RunName(options.temp_prefix, (*next_run_id)++);
+    // Batched run writes: a bigger writer buffer turns the run dump into
+    // fewer, larger accesses interleaving less with the input scan.
+    const size_t writer_buffer =
+        options.batched_io
+            ? std::max<size_t>(1 << 20, options.memory_budget_bytes / 8)
+            : size_t{1} << 20;
     MSV_ASSIGN_OR_RETURN(
         std::unique_ptr<HeapFileWriter> writer,
-        HeapFileWriter::Create(env, run_name, record_size));
+        HeapFileWriter::Create(env, run_name, record_size, writer_buffer));
     for (const char* p : ptrs) {
       MSV_RETURN_IF_ERROR(writer->Append(p));
     }
@@ -89,8 +95,8 @@ Status MergeRuns(io::Env* env, const std::vector<std::string>& run_names,
     MSV_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> f, HeapFile::Open(env, name));
     record_size = f->record_size();
     total += f->record_count();
-    scanners.push_back(
-        std::make_unique<HeapFile::Scanner>(f->NewScanner(per_input_buffer)));
+    scanners.push_back(std::make_unique<HeapFile::Scanner>(
+        f->NewScanner(per_input_buffer, /*readahead=*/options.batched_io)));
     files.push_back(std::move(f));
   }
 
@@ -104,9 +110,11 @@ Status MergeRuns(io::Env* env, const std::vector<std::string>& run_names,
       [&](size_t a, size_t b) { return less(current[a], current[b]); },
       [&](size_t i) { return current[i] == nullptr; });
 
+  const size_t writer_buffer =
+      options.batched_io ? 2 * per_input_buffer : per_input_buffer;
   MSV_ASSIGN_OR_RETURN(
       std::unique_ptr<HeapFileWriter> writer,
-      HeapFileWriter::Create(env, output_name, record_size, per_input_buffer));
+      HeapFileWriter::Create(env, output_name, record_size, writer_buffer));
 
   uint64_t written = 0;
   while (tree.Top() != LoserTree::kInvalid) {

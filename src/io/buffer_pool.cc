@@ -1,5 +1,7 @@
 #include "io/buffer_pool.h"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "util/logging.h"
@@ -211,6 +213,113 @@ Result<PageRef> BufferPool::Get(File* file, uint64_t file_id,
   f.valid = true;
   shard.map.emplace(key, frame_idx);
   return PageRef(this, shard_idx, frame_idx, f.data.data(), f.length);
+}
+
+Status BufferPool::GetBatch(File* file, uint64_t file_id,
+                            const uint64_t* page_nos, size_t count,
+                            std::vector<PageRef>* out) {
+  // Phase A: probe each occurrence, pinning hits. One shard lock at a
+  // time, never two — the phases below keep that ordering invariant.
+  std::vector<PageRef> refs(count);
+  std::vector<size_t> missed_pos;
+  for (size_t i = 0; i < count; ++i) {
+    Key key{file_id, page_nos[i]};
+    const size_t shard_idx = ShardOf(key);
+    Shard& shard = *shards_[shard_idx];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      missed_pos.push_back(i);
+      continue;
+    }
+    Frame& f = shard.frames[it->second];
+    ++shard.totals.hits;
+    c_hits_->Add();
+    f.tick = ++shard.tick;
+    ++f.pins;
+    refs[i] = PageRef(this, shard_idx, it->second, f.data.data(), f.length);
+  }
+
+  if (!missed_pos.empty()) {
+    // Phase B: unique missed pages in ascending order — the elevator
+    // schedule, which also makes adjacent pages contiguous in array
+    // order so File::ReadBatch can coalesce them. The device read runs
+    // outside every shard lock.
+    std::vector<uint64_t> pages;
+    pages.reserve(missed_pos.size());
+    for (size_t pos : missed_pos) pages.push_back(page_nos[pos]);
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+    std::vector<char> scratch(pages.size() * page_size_);
+    std::vector<ReadRequest> reqs(pages.size());
+    for (size_t k = 0; k < pages.size(); ++k) {
+      reqs[k].offset = pages[k] * page_size_;
+      reqs[k].n = page_size_;
+      reqs[k].scratch = scratch.data() + k * page_size_;
+    }
+    MSV_RETURN_IF_ERROR(file->ReadBatch(reqs.data(), reqs.size()));
+    for (size_t k = 0; k < pages.size(); ++k) {
+      if (reqs[k].got == 0) {
+        return Status::OutOfRange("page " + std::to_string(pages[k]) +
+                                  " is beyond end of file");
+      }
+    }
+
+    // Phase C: install each unique page and pin every occurrence inside
+    // one shard critical section (a frame pinned at insert can never be
+    // evicted between install and pin).
+    for (size_t k = 0; k < pages.size(); ++k) {
+      const uint64_t page_no = pages[k];
+      Key key{file_id, page_no};
+      const size_t shard_idx = ShardOf(key);
+      Shard& shard = *shards_[shard_idx];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      size_t frame_idx;
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        // A concurrent Get filled this page after phase A; reuse its
+        // frame. Our device read still happened, so the miss stands.
+        frame_idx = it->second;
+      } else {
+        MSV_ASSIGN_OR_RETURN(frame_idx, FindVictim(shard));
+        Frame& fill = shard.frames[frame_idx];
+        if (fill.valid) {
+          shard.map.erase(Key{fill.file_id, fill.page_no});
+          ++shard.totals.evictions;
+          c_evictions_->Add();
+          fill.valid = false;
+        }
+        if (fill.data.size() != page_size_) fill.data.resize(page_size_);
+        std::memcpy(fill.data.data(), reqs[k].scratch, reqs[k].got);
+        fill.file_id = file_id;
+        fill.page_no = page_no;
+        fill.length = reqs[k].got;
+        fill.pins = 0;
+        fill.valid = true;
+        shard.map.emplace(key, frame_idx);
+      }
+      ++shard.totals.misses;
+      c_misses_->Add();
+      Frame& f = shard.frames[frame_idx];
+      f.tick = ++shard.tick;
+      bool first = true;
+      for (size_t pos : missed_pos) {
+        if (page_nos[pos] != page_no) continue;
+        if (!first) {
+          ++shard.totals.hits;
+          c_hits_->Add();
+        }
+        first = false;
+        ++f.pins;
+        refs[pos] =
+            PageRef(this, shard_idx, frame_idx, f.data.data(), f.length);
+      }
+    }
+  }
+
+  *out = std::move(refs);
+  return Status::OK();
 }
 
 void BufferPool::Clear() {

@@ -102,6 +102,18 @@ class BufferPool {
   /// Safe from any thread; `file` must support concurrent Read()s.
   Result<PageRef> Get(File* file, uint64_t file_id, uint64_t page_no);
 
+  /// Batched Get: fills `out` with one pinned reference per entry of
+  /// `page_nos`, in input order. Cached pages are pinned as hits; the
+  /// misses are sorted, deduplicated and read with one File::ReadBatch
+  /// call outside every shard lock, so runs of adjacent uncached pages
+  /// coalesce into single modeled accesses even when cached frames split
+  /// the requested range (partial-hit splitting). Counts one miss per
+  /// unique page read from the device; duplicate occurrences and pages
+  /// another thread filled concurrently count as hits. On error, no new
+  /// pins are retained and `*out` is untouched.
+  Status GetBatch(File* file, uint64_t file_id, const uint64_t* page_nos,
+                  size_t count, std::vector<PageRef>* out);
+
   /// Drops every unpinned page (e.g. between benchmark queries).
   void Clear();
 

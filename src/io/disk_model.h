@@ -84,6 +84,12 @@ struct DiskStats {
   /// per access with the same rounding as the io.disk.busy_us registry
   /// counter, so struct totals and traced span deltas compare exactly.
   uint64_t busy_us = 0;
+  /// Coalesced multi-page accesses charged through AccessRun(), and the
+  /// total pages they carried. batched_pages / batched_accesses is the
+  /// coalesce ratio; each batched access also counts once in reads/seeks/
+  /// sequential_ios above, so the per-access families stay reconciled.
+  uint64_t batched_accesses = 0;
+  uint64_t batched_pages = 0;
 
   DiskStats operator-(const DiskStats& b) const {
     return DiskStats{reads - b.reads,
@@ -92,7 +98,9 @@ struct DiskStats {
                      written_bytes - b.written_bytes,
                      seeks - b.seeks,
                      sequential_ios - b.sequential_ios,
-                     busy_us - b.busy_us};
+                     busy_us - b.busy_us,
+                     batched_accesses - b.batched_accesses,
+                     batched_pages - b.batched_pages};
   }
 };
 
@@ -113,6 +121,14 @@ class DiskDevice {
   /// position `pos` and advances the head. Safe from any thread; requests
   /// racing for the arm are served in lock-acquisition order.
   void Access(uint64_t pos, uint64_t len, bool is_write);
+
+  /// Charges one coalesced access covering `pages` logically distinct
+  /// requests that are physically contiguous: the arm pays at most one
+  /// seek + rotation for the whole run, then `len` bytes of transfer —
+  /// the entire point of batched I/O under a seek-dominated model. Also
+  /// records io.batch.* metrics (accesses, pages, pages-per-access
+  /// histogram) and the DiskStats batched_* fields; Access() never does.
+  void AccessRun(uint64_t pos, uint64_t len, uint64_t pages, bool is_write);
 
   /// Model time to read `bytes` sequentially from a cold start; the
   /// normalization denominator for all paper figures.
@@ -144,6 +160,10 @@ class DiskDevice {
   uint64_t head_pos_ = 0;
   bool head_valid_ = false;
 
+  /// Shared body of Access()/AccessRun(); acquires the arm lock. `pages`
+  /// is 0 for plain accesses (skips the io.batch.* family entirely).
+  void AccessImpl(uint64_t pos, uint64_t len, uint64_t pages, bool is_write);
+
   // Registry series shared by every DiskDevice (process-wide totals).
   obs::Counter* c_reads_;
   obs::Counter* c_writes_;
@@ -153,6 +173,9 @@ class DiskDevice {
   obs::Counter* c_sequential_;
   obs::Counter* c_busy_us_;
   obs::LogHistogram* h_access_us_;
+  obs::Counter* c_batch_accesses_;
+  obs::Counter* c_batch_pages_;
+  obs::LogHistogram* h_batch_pages_;
 };
 
 /// Modeled disk-busy microseconds charged by accesses issued from the

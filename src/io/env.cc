@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -25,6 +26,14 @@ Status File::ReadExact(uint64_t offset, size_t n, char* scratch) {
     return Status::IOError("short read: wanted " + std::to_string(n) +
                            " bytes at offset " + std::to_string(offset) +
                            ", got " + std::to_string(got));
+  }
+  return Status::OK();
+}
+
+Status File::ReadBatch(ReadRequest* reqs, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    MSV_ASSIGN_OR_RETURN(reqs[i].got,
+                         Read(reqs[i].offset, reqs[i].n, reqs[i].scratch));
   }
   return Status::OK();
 }
@@ -56,6 +65,23 @@ class MemFile : public File {
     size_t got = std::min(n, avail);
     std::memcpy(scratch, bytes.data() + offset, got);
     return got;
+  }
+
+  Status ReadBatch(ReadRequest* reqs, size_t count) override {
+    // One shared-lock acquisition for the whole batch.
+    std::shared_lock<std::shared_mutex> lock(data_->mu);
+    const auto& bytes = data_->bytes;
+    for (size_t i = 0; i < count; ++i) {
+      ReadRequest& r = reqs[i];
+      if (r.offset >= bytes.size()) {
+        r.got = 0;
+        continue;
+      }
+      size_t avail = bytes.size() - static_cast<size_t>(r.offset);
+      r.got = std::min(r.n, avail);
+      std::memcpy(r.scratch, bytes.data() + r.offset, r.got);
+    }
+    return Status::OK();
   }
 
   Status Write(uint64_t offset, const char* data, size_t n) override {
@@ -188,6 +214,21 @@ class PosixFile : public File {
     return got;
   }
 
+  Status ReadBatch(ReadRequest* reqs, size_t count) override {
+    size_t i = 0;
+    while (i < count) {
+      // Maximal contiguous run in array order, capped at kMaxIov.
+      size_t j = i + 1;
+      while (j < count && j - i < kMaxIov &&
+             reqs[j].offset == reqs[j - 1].offset + reqs[j - 1].n) {
+        ++j;
+      }
+      MSV_RETURN_IF_ERROR(ReadRun(reqs + i, j - i));
+      i = j;
+    }
+    return Status::OK();
+  }
+
   Status Write(uint64_t offset, const char* data, size_t n) override {
     return WriteAt(offset, data, n);
   }
@@ -221,6 +262,48 @@ class PosixFile : public File {
   }
 
  private:
+  // IOV_MAX is at least 16 on any POSIX system; 256 keeps the stack iovec
+  // array small while comfortably covering our leaf-batch sizes.
+  static constexpr size_t kMaxIov = 256;
+
+  // One contiguous run of requests, serviced with preadv(2). A short
+  // preadv (signal, EOF, kernel split) resumes at the partial boundary;
+  // the final byte count is distributed over the requests in order, so
+  // each `got` matches what a standalone pread would have returned.
+  Status ReadRun(ReadRequest* reqs, size_t count) {
+    size_t total = 0;
+    for (size_t i = 0; i < count; ++i) total += reqs[i].n;
+    const uint64_t base = reqs[0].offset;
+    size_t done = 0;
+    while (done < total) {
+      struct iovec iov[kMaxIov];
+      int iovcnt = 0;
+      size_t skip = done;
+      for (size_t i = 0; i < count; ++i) {
+        if (skip >= reqs[i].n) {
+          skip -= reqs[i].n;
+          continue;
+        }
+        iov[iovcnt].iov_base = reqs[i].scratch + skip;
+        iov[iovcnt].iov_len = reqs[i].n - skip;
+        skip = 0;
+        ++iovcnt;
+      }
+      ssize_t r = ::preadv(fd_, iov, iovcnt, static_cast<off_t>(base + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("preadv at " + std::to_string(base + done), errno);
+      }
+      if (r == 0) break;  // end of file
+      done += static_cast<size_t>(r);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      reqs[i].got = std::min(reqs[i].n, done);
+      done -= reqs[i].got;
+    }
+    return Status::OK();
+  }
+
   Status WriteAt(uint64_t offset, const char* data, size_t n) {
     size_t put = 0;
     while (put < n) {

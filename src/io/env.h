@@ -22,6 +22,16 @@
 
 namespace msv::io {
 
+/// One positional read inside a File::ReadBatch call. `got` is filled by
+/// the implementation with the number of bytes actually read (short only
+/// at end-of-file, matching File::Read).
+struct ReadRequest {
+  uint64_t offset = 0;
+  size_t n = 0;
+  char* scratch = nullptr;
+  size_t got = 0;
+};
+
 /// A random-access file supporting positional reads/writes and append.
 /// The library's implementations (MemEnv, PosixEnv, SimEnv) are safe for
 /// concurrent use: positional reads may proceed in parallel and writes are
@@ -34,6 +44,17 @@ class File {
   /// Reads up to `n` bytes starting at `offset` into `scratch`. Returns the
   /// number of bytes actually read (short only at end-of-file).
   virtual Result<size_t> Read(uint64_t offset, size_t n, char* scratch) = 0;
+
+  /// Reads `count` positional requests. Each request's `got` is set exactly
+  /// as a standalone Read would set it (short only at end-of-file).
+  ///
+  /// Implementations treat a maximal run of requests that is contiguous *in
+  /// array order* (reqs[j].offset == reqs[j-1].offset + reqs[j-1].n) as one
+  /// underlying device access: SimEnv charges one seek for the whole run,
+  /// FaultInjectionEnv consumes one op index per run, PosixEnv issues one
+  /// preadv(2). Callers wanting coalescing should therefore sort requests
+  /// by offset before calling. The default implementation loops over Read.
+  virtual Status ReadBatch(ReadRequest* reqs, size_t count);
 
   /// Writes `n` bytes at `offset`, extending the file if needed.
   virtual Status Write(uint64_t offset, const char* data, size_t n) = 0;

@@ -130,28 +130,62 @@ Status HeapFile::ReadRecord(uint64_t index, char* out) const {
                           record_size_, out);
 }
 
-HeapFile::Scanner HeapFile::NewScanner(size_t chunk_bytes) const {
+HeapFile::Scanner HeapFile::NewScanner(size_t chunk_bytes,
+                                       bool readahead) const {
   size_t chunk_records = std::max<size_t>(1, chunk_bytes / record_size_);
-  return Scanner(this, chunk_records);
+  return Scanner(this, chunk_records, readahead);
 }
 
-HeapFile::Scanner::Scanner(const HeapFile* file, size_t chunk_records)
-    : file_(file), chunk_capacity_(chunk_records) {
-  chunk_.resize(chunk_capacity_ * file_->record_size_);
+HeapFile::Scanner::Scanner(const HeapFile* file, size_t chunk_records,
+                           bool readahead)
+    : file_(file), chunk_capacity_(chunk_records), readahead_(readahead) {
+  chunk_.resize((readahead_ ? 2 : 1) * chunk_capacity_ * file_->record_size_);
 }
 
 Result<const char*> HeapFile::Scanner::Next() {
   if (pos_ >= file_->count_) return static_cast<const char*>(nullptr);
   if (pos_ < chunk_start_ || pos_ >= chunk_start_ + chunk_count_ ||
       chunk_count_ == 0) {
-    // Refill starting at pos_.
-    size_t want = static_cast<size_t>(
-        std::min<uint64_t>(chunk_capacity_, file_->count_ - pos_));
-    MSV_RETURN_IF_ERROR(file_->file_->ReadExact(
-        kHeapFileHeaderSize + pos_ * file_->record_size_,
-        want * file_->record_size_, chunk_.data()));
-    chunk_start_ = static_cast<size_t>(pos_);
-    chunk_count_ = want;
+    const size_t rec = file_->record_size_;
+    const uint64_t base = kHeapFileHeaderSize + pos_ * rec;
+    if (readahead_) {
+      // Refill the current block and its lookahead with one batched
+      // read; the two requests are adjacent, so the device serves them
+      // as a single coalesced access (one seek for both blocks).
+      size_t want = static_cast<size_t>(
+          std::min<uint64_t>(2 * chunk_capacity_, file_->count_ - pos_));
+      size_t first = std::min(want, chunk_capacity_);
+      io::ReadRequest reqs[2];
+      reqs[0].offset = base;
+      reqs[0].n = first * rec;
+      reqs[0].scratch = chunk_.data();
+      size_t nreqs = 1;
+      if (want > first) {
+        reqs[1].offset = base + first * rec;
+        reqs[1].n = (want - first) * rec;
+        reqs[1].scratch = chunk_.data() + first * rec;
+        nreqs = 2;
+      }
+      MSV_RETURN_IF_ERROR(file_->file_->ReadBatch(reqs, nreqs));
+      for (size_t i = 0; i < nreqs; ++i) {
+        if (reqs[i].got != reqs[i].n) {
+          return Status::IOError(
+              "short read: wanted " + std::to_string(reqs[i].n) +
+              " bytes at offset " + std::to_string(reqs[i].offset) +
+              ", got " + std::to_string(reqs[i].got));
+        }
+      }
+      chunk_start_ = static_cast<size_t>(pos_);
+      chunk_count_ = want;
+    } else {
+      // Refill starting at pos_.
+      size_t want = static_cast<size_t>(
+          std::min<uint64_t>(chunk_capacity_, file_->count_ - pos_));
+      MSV_RETURN_IF_ERROR(
+          file_->file_->ReadExact(base, want * rec, chunk_.data()));
+      chunk_start_ = static_cast<size_t>(pos_);
+      chunk_count_ = want;
+    }
   }
   const char* rec =
       chunk_.data() + (pos_ - chunk_start_) * file_->record_size_;

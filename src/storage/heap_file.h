@@ -82,7 +82,7 @@ class HeapFile {
 
    private:
     friend class HeapFile;
-    Scanner(const HeapFile* file, size_t chunk_records);
+    Scanner(const HeapFile* file, size_t chunk_records, bool readahead);
 
     const HeapFile* file_;
     std::vector<char> chunk_;
@@ -90,11 +90,19 @@ class HeapFile {
     size_t chunk_start_ = 0;  // record index of chunk_[0]
     size_t chunk_count_ = 0;  // records currently in chunk_
     size_t chunk_capacity_;   // records per chunk
+    bool readahead_;          // double-buffered refills (see NewScanner)
   };
 
   /// Creates a scanner reading `chunk_bytes` per I/O (rounded to whole
-  /// records).
-  Scanner NewScanner(size_t chunk_bytes = 4 << 20) const;
+  /// records). With `readahead`, each refill fetches *two* chunk-sized
+  /// blocks as one batched (adjacent, hence coalesced) read — the
+  /// double-buffering of the TPMMS merge phase. Under the synchronous
+  /// disk model an overlap of fetch and drain cannot be expressed, so
+  /// the benefit manifests as half the refill seeks at twice the buffer
+  /// memory (2 * chunk_bytes per scanner); callers opting in should
+  /// budget accordingly.
+  Scanner NewScanner(size_t chunk_bytes = 4 << 20,
+                     bool readahead = false) const;
 
  private:
   HeapFile(std::unique_ptr<io::File> file, size_t record_size,

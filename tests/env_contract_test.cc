@@ -308,6 +308,96 @@ TEST_F(FaultEnvTest, FaultCountersPublished) {
 }
 
 // ---------------------------------------------------------------------------
+// FaultInjectionEnv: batched reads and the op-index ledger
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Builds one `page`-byte request per entry of `offsets` over `scratch`
+/// (which is resized to fit).
+std::vector<ReadRequest> PageBatch(const std::vector<uint64_t>& offsets,
+                                   size_t page, std::string* scratch) {
+  scratch->assign(offsets.size() * page, '\0');
+  std::vector<ReadRequest> reqs(offsets.size());
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    reqs[i] = ReadRequest{offsets[i], page, scratch->data() + i * page};
+  }
+  return reqs;
+}
+}  // namespace
+
+TEST_F(FaultEnvTest, BatchConsumesOneOpPerContiguousRun) {
+  auto f = ValueOrDie(env_->OpenFile("f", true));
+  std::string data(800, 'x');
+  MSV_ASSERT_OK(f->Write(0, data.data(), data.size()));
+  std::string scratch;
+
+  // One contiguous 4-page run: one underlying device access, one op.
+  auto adjacent = PageBatch({0, 100, 200, 300}, 100, &scratch);
+  int64_t before = env_->op_count();
+  MSV_ASSERT_OK(f->ReadBatch(adjacent.data(), adjacent.size()));
+  EXPECT_EQ(env_->op_count(), before + 1);
+
+  // Three scattered pages: three runs, three ops.
+  auto scattered = PageBatch({0, 300, 600}, 100, &scratch);
+  before = env_->op_count();
+  MSV_ASSERT_OK(f->ReadBatch(scattered.data(), scattered.size()));
+  EXPECT_EQ(env_->op_count(), before + 3);
+
+  // Two adjacent pairs split by a gap: two runs, two ops.
+  auto pairs = PageBatch({0, 100, 500, 600}, 100, &scratch);
+  before = env_->op_count();
+  MSV_ASSERT_OK(f->ReadBatch(pairs.data(), pairs.size()));
+  EXPECT_EQ(env_->op_count(), before + 2);
+}
+
+TEST_F(FaultEnvTest, MidBatchFaultHitsTheRunItIsArmedFor) {
+  auto f = ValueOrDie(env_->OpenFile("f", true));
+  std::string data(800, 'x');
+  MSV_ASSERT_OK(f->Write(0, data.data(), data.size()));
+  std::string scratch;
+  // Two runs: {0,100} and {500}. Arm the op *after* the first run, so
+  // run 1 completes and run 2 is the one that dies.
+  auto reqs = PageBatch({0, 100, 500}, 100, &scratch);
+  env_->ArmFault(env_->op_count() + 1, FaultMode::kError, /*sticky=*/false);
+  Status st = f->ReadBatch(reqs.data(), reqs.size());
+  ASSERT_TRUE(st.IsIOError());
+  EXPECT_NE(st.ToString().find("injected"), std::string::npos);
+  EXPECT_EQ(reqs[0].got, 100u);  // the first run had already been served
+  EXPECT_EQ(reqs[1].got, 100u);
+  MSV_ASSERT_OK(f->ReadBatch(reqs.data(), reqs.size()));  // non-sticky
+}
+
+TEST_F(FaultEnvTest, ShortReadOnBatchTruncatesAtRequestBoundary) {
+  auto f = ValueOrDie(env_->OpenFile("f", true));
+  std::string data(400, 'y');
+  MSV_ASSERT_OK(f->Write(0, data.data(), data.size()));
+  std::string scratch;
+  // One 4-page contiguous run of 400 bytes: the injected short read
+  // keeps half the delivered bytes, rounded DOWN to a request boundary
+  // — a deterministic page-aligned truncation, like a real device that
+  // died mid-transfer.
+  auto reqs = PageBatch({0, 100, 200, 300}, 100, &scratch);
+  env_->ArmFault(env_->op_count(), FaultMode::kShortRead, /*sticky=*/false);
+  MSV_ASSERT_OK(f->ReadBatch(reqs.data(), reqs.size()));
+  EXPECT_EQ(reqs[0].got, 100u);
+  EXPECT_EQ(reqs[1].got, 100u);
+  EXPECT_EQ(reqs[2].got, 0u);
+  EXPECT_EQ(reqs[3].got, 0u);
+}
+
+TEST_F(FaultEnvTest, ShortReadOnSingleRequestBatchMatchesScalarRead) {
+  auto f = ValueOrDie(env_->OpenFile("f", true));
+  std::string data(100, 'z');
+  MSV_ASSERT_OK(f->Write(0, data.data(), data.size()));
+  std::string scratch;
+  auto reqs = PageBatch({0}, 100, &scratch);
+  env_->ArmFault(env_->op_count(), FaultMode::kShortRead, /*sticky=*/false);
+  MSV_ASSERT_OK(f->ReadBatch(reqs.data(), reqs.size()));
+  // Same halving a scalar Read() would get (ShortReadReturnsHalf above).
+  EXPECT_EQ(reqs[0].got, 50u);
+}
+
+// ---------------------------------------------------------------------------
 // FaultInjectionEnv: crash (drop-unsynced-data) semantics
 // ---------------------------------------------------------------------------
 

@@ -34,6 +34,12 @@ Custom rules (things clang-tidy cannot express for this repo):
                          Seek-then-read on a shared FILE* races and the
                          long offset truncates past 2 GiB; all file I/O
                          goes through Env's positional Read/Write.
+  msv-batched-io         no scalar Read()/ReadExact() calls inside loops
+                         in the src/core and src/extsort hot paths: a
+                         page-per-call loop pays one modeled device
+                         access per page where File::ReadBatch /
+                         AceTree::ReadLeaves / BufferPool::GetBatch
+                         coalesce the adjacent run into one.
 
 A finding is suppressed by `// NOLINT` or `// NOLINT(<rule>)` on the
 same line. Exit code: 0 clean, 1 findings, 2 usage/environment error.
@@ -301,6 +307,57 @@ def check_raw_seek(path: Path, lines: list[str], findings: list[Finding]):
                 "use Env's positional Read/Write"))
 
 
+# --- msv-batched-io --------------------------------------------------------
+
+# Hot-path page-fetch loops in the sampler and external-sort layers must
+# use the batched interfaces (File::ReadBatch, AceTree::ReadLeaves,
+# BufferPool::GetBatch): a scalar Read per iteration pays one modeled
+# device access per page, where a coalesced batch pays one seek for the
+# whole adjacent run. ace_verify.cc is exempt — the scrubber walks pages
+# one at a time on purpose so a torn page is attributed precisely.
+BATCHED_IO_DIRS = {("src", "core"), ("src", "extsort")}
+BATCHED_IO_ALLOWED = {("src", "core", "ace_verify.cc")}
+LOOP_HEAD_RE = re.compile(r"(?<![\w.])(?:for|while)\s*\(")
+SCALAR_READ_RE = re.compile(r"(?:->|\.)\s*(?:Read|ReadExact)\s*\(")
+
+
+def check_batched_io(path: Path, lines: list[str], findings: list[Finding]):
+    rel = path.relative_to(REPO_ROOT)
+    if (path.suffix not in CC_EXTS or rel.parts[:2] not in BATCHED_IO_DIRS
+            or rel.parts in BATCHED_IO_ALLOWED):
+        return
+    # Lexical loop tracker: brace depth plus the depths at which loop
+    # bodies opened. Crude (single-statement loop bodies without braces
+    # are missed) but dependency-free and good enough to keep scalar
+    # read loops from creeping back into the hot paths.
+    depth = 0
+    loop_depths: list[int] = []
+    pending_loop = False
+    for no, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if LOOP_HEAD_RE.search(line):
+            pending_loop = True
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if pending_loop:
+                    loop_depths.append(depth)
+                    pending_loop = False
+            elif ch == "}":
+                if loop_depths and loop_depths[-1] == depth:
+                    loop_depths.pop()
+                depth -= 1
+        if loop_depths and SCALAR_READ_RE.search(line):
+            if is_suppressed(raw, "msv-batched-io"):
+                continue
+            findings.append(Finding(
+                path, no, "msv-batched-io",
+                "scalar Read()/ReadExact() in a loop on a hot path — "
+                "coalesce the run with File::ReadBatch / "
+                "AceTree::ReadLeaves / BufferPool::GetBatch (one modeled "
+                "seek per adjacent run instead of one per page)"))
+
+
 # --- clang-tidy ------------------------------------------------------------
 
 def run_clang_tidy(paths: list[Path], require: bool) -> int:
@@ -378,6 +435,7 @@ def main() -> int:
         check_bare_assert(path, lines, findings)
         check_stats_direct(path, lines, findings)
         check_raw_seek(path, lines, findings)
+        check_batched_io(path, lines, findings)
 
     for f in findings:
         print(f)

@@ -216,6 +216,19 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   if (metrics != Metrics::kNone) {
+    // Inspect runs on a plain Posix env, so no DiskDevice is ever
+    // constructed and the I/O metric families would be absent from the
+    // dump. Pre-register them (zero-valued) so scripts scraping the
+    // output see a stable schema whether or not a simulated device ran.
+    obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+    for (const char* name :
+         {"io.disk.reads", "io.disk.writes", "io.disk.read_bytes",
+          "io.disk.written_bytes", "io.disk.seeks", "io.disk.sequential_ios",
+          "io.disk.busy_us", "io.batch.accesses", "io.batch.pages"}) {
+      reg.GetCounter(name);
+    }
+    reg.GetHistogram("io.disk.access_us");
+    reg.GetHistogram("io.batch.pages_per_access");
     obs::MetricsSnapshot snap = obs::MetricRegistry::Global().Snapshot();
     if (metrics == Metrics::kJson) {
       std::printf("%s\n", snap.ToJson().Dump(2).c_str());
