@@ -55,11 +55,11 @@ ParallelAceSampler::ParallelAceSampler(const AceTree* tree,
 
 ParallelAceSampler::~ParallelAceSampler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
-  ready_cv_.notify_all();
+  work_cv_.SignalAll();
+  ready_cv_.SignalAll();
   for (std::thread& w : workers_) w.join();
   EmitLevelSpans();
 }
@@ -69,11 +69,13 @@ void ParallelAceSampler::WorkerLoop(size_t worker_index) {
   for (;;) {
     size_t begin, end;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || next_claim_ >= order_.size() ||
-               next_claim_ < consumed_ + window_;
-      });
+      MutexLock lock(mu_);
+      // Wait for window space (explicit loop: the analysis cannot see
+      // guarded reads inside a wait-predicate lambda).
+      while (!stop_ && next_claim_ < order_.size() &&
+             next_claim_ >= consumed_ + window_) {
+        work_cv_.Wait(mu_);
+      }
       if (stop_ || next_claim_ >= order_.size()) return;
       // Claim a chunk of consecutive stab positions, capped by the
       // remaining reorder-window space so the consumer's memory bound
@@ -97,12 +99,12 @@ void ParallelAceSampler::WorkerLoop(size_t worker_index) {
     Result<std::vector<LeafData>> leaves = tree_->ReadLeaves(indices);
     uint64_t delta = io::ThreadDiskBusyUs() - busy_before;
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!leaves.ok()) {
       if (worker_error_.ok()) worker_error_ = leaves.status();
       stop_ = true;
-      work_cv_.notify_all();
-      ready_cv_.notify_all();
+      work_cv_.SignalAll();
+      ready_cv_.SignalAll();
       return;
     }
     std::vector<uint64_t> shares =
@@ -111,7 +113,7 @@ void ParallelAceSampler::WorkerLoop(size_t worker_index) {
       fetched_.emplace(pos, Fetched{std::move((*leaves)[pos - begin]),
                                     shares[pos - begin]});
     }
-    ready_cv_.notify_all();
+    ready_cv_.SignalAll();
   }
 }
 
@@ -141,9 +143,10 @@ Result<sampling::SampleBatch> ParallelAceSampler::NextBatch() {
   uint64_t heap_id;
   uint64_t leaf_index;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_cv_.wait(lock,
-                   [&] { return stop_ || fetched_.count(consumed_) != 0; });
+    MutexLock lock(mu_);
+    while (!stop_ && fetched_.count(consumed_) == 0) {
+      ready_cv_.Wait(mu_);
+    }
     if (!worker_error_.ok()) return worker_error_;
     auto it = fetched_.find(consumed_);
     MSV_CHECK_MSG(it != fetched_.end(), "sampler stopped mid-stream");
@@ -153,7 +156,7 @@ Result<sampling::SampleBatch> ParallelAceSampler::NextBatch() {
     leaf_index = order_[consumed_].second;
     ++consumed_;
     // The window slid: wake workers parked on it.
-    work_cv_.notify_all();
+    work_cv_.SignalAll();
   }
 
   // Everything below runs only on the consumer thread, against the same

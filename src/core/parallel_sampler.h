@@ -14,10 +14,8 @@
 #ifndef MSV_CORE_PARALLEL_SAMPLER_H_
 #define MSV_CORE_PARALLEL_SAMPLER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -30,6 +28,7 @@
 #include "obs/trace.h"
 #include "sampling/sample_stream.h"
 #include "util/random.h"
+#include "util/sync.h"
 
 namespace msv::core {
 
@@ -100,14 +99,18 @@ class ParallelAceSampler : public sampling::SampleStream {
   size_t window_ = 0;
   size_t read_batch_ = 1;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait: window space
-  std::condition_variable ready_cv_;  // consumer waits: next leaf fetched
-  size_t next_claim_ = 0;    // next order_ position a worker may take
-  size_t consumed_ = 0;      // next order_ position the consumer needs
-  std::unordered_map<size_t, Fetched> fetched_;  // position -> result
-  Status worker_error_;      // first failure; sticky
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;   // workers wait: window space
+  CondVar ready_cv_;  // consumer waits: next leaf fetched
+  /// Next order_ position a worker may take.
+  size_t next_claim_ MSV_GUARDED_BY(mu_) = 0;
+  /// Next order_ position the consumer needs.
+  size_t consumed_ MSV_GUARDED_BY(mu_) = 0;
+  /// position -> result
+  std::unordered_map<size_t, Fetched> fetched_ MSV_GUARDED_BY(mu_);
+  /// First failure; sticky.
+  Status worker_error_ MSV_GUARDED_BY(mu_);
+  bool stop_ MSV_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 
   uint64_t returned_ = 0;

@@ -71,7 +71,7 @@ BufferPool::BufferPool(size_t page_size, size_t capacity_pages, size_t shards)
 BufferPoolStats BufferPool::total_stats() const {
   BufferPoolStats sum;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     sum += shard->totals;
   }
   return sum;
@@ -79,14 +79,14 @@ BufferPoolStats BufferPool::total_stats() const {
 
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats sum = total_stats();
-  std::lock_guard<std::mutex> lock(baseline_mu_);
+  MutexLock lock(baseline_mu_);
   return sum - baseline_;
 }
 
 void BufferPool::ResetStats() {
   BufferPoolStats sum = total_stats();
   {
-    std::lock_guard<std::mutex> lock(baseline_mu_);
+    MutexLock lock(baseline_mu_);
     baseline_ = sum;
   }
   obs::MetricRegistry::Global().BeginEpoch();
@@ -95,7 +95,7 @@ void BufferPool::ResetStats() {
 size_t BufferPool::resident_pages() const {
   size_t resident = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     resident += shard->map.size();
   }
   return resident;
@@ -104,7 +104,7 @@ size_t BufferPool::resident_pages() const {
 std::string BufferPool::CheckAccounting() const {
   for (size_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     size_t valid = 0;
     for (size_t i = 0; i < shard.frames.size(); ++i) {
       const Frame& f = shard.frames[i];
@@ -140,7 +140,7 @@ std::string BufferPool::CheckAccounting() const {
 
 void BufferPool::Unpin(size_t shard_idx, size_t frame) {
   Shard& shard = *shards_[shard_idx];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   MSV_DCHECK(frame < shard.frames.size());
   MSV_DCHECK(shard.frames[frame].pins > 0);
   --shard.frames[frame].pins;
@@ -170,7 +170,7 @@ Result<PageRef> BufferPool::Get(File* file, uint64_t file_id,
   Key key{file_id, page_no};
   const size_t shard_idx = ShardOf(key);
   Shard& shard = *shards_[shard_idx];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     Frame& f = shard.frames[it->second];
@@ -226,7 +226,7 @@ Status BufferPool::GetBatch(File* file, uint64_t file_id,
     Key key{file_id, page_nos[i]};
     const size_t shard_idx = ShardOf(key);
     Shard& shard = *shards_[shard_idx];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       missed_pos.push_back(i);
@@ -274,7 +274,7 @@ Status BufferPool::GetBatch(File* file, uint64_t file_id,
       Key key{file_id, page_no};
       const size_t shard_idx = ShardOf(key);
       Shard& shard = *shards_[shard_idx];
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       size_t frame_idx;
       auto it = shard.map.find(key);
       if (it != shard.map.end()) {
@@ -325,7 +325,7 @@ Status BufferPool::GetBatch(File* file, uint64_t file_id,
 void BufferPool::Clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (Frame& f : shard.frames) {
       if (f.valid && f.pins == 0) {
         shard.map.erase(Key{f.file_id, f.page_no});

@@ -21,13 +21,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "io/env.h"
 #include "obs/metrics.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace msv::io {
 
@@ -169,13 +169,14 @@ class BufferPool {
 
   /// One lock's worth of frames. Everything below `mu` is guarded by it;
   /// a frame's `data` bytes are additionally readable without the lock
-  /// while the frame is pinned (pins block eviction and rewrites).
+  /// while the frame is pinned (pins block eviction and rewrites), which
+  /// is why PageRef carries a raw data pointer rather than a Frame ref.
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<Frame> frames;
-    std::unordered_map<Key, size_t, KeyHash> map;
-    BufferPoolStats totals;
-    uint64_t tick = 0;
+    mutable Mutex mu;
+    std::vector<Frame> frames MSV_GUARDED_BY(mu);
+    std::unordered_map<Key, size_t, KeyHash> map MSV_GUARDED_BY(mu);
+    BufferPoolStats totals MSV_GUARDED_BY(mu);
+    uint64_t tick MSV_GUARDED_BY(mu) = 0;
   };
 
   size_t ShardOf(const Key& key) const {
@@ -184,14 +185,14 @@ class BufferPool {
 
   void Unpin(size_t shard, size_t frame);
   /// Victim frame index within `shard` (lock held by caller).
-  Result<size_t> FindVictim(Shard& shard);
+  Result<size_t> FindVictim(Shard& shard) MSV_REQUIRES(shard.mu);
 
   size_t page_size_;
   size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  /// Guards the baseline only; ordered after shard locks.
-  mutable std::mutex baseline_mu_;
-  BufferPoolStats baseline_;
+  /// Guards the baseline only; never held together with a shard lock.
+  mutable Mutex baseline_mu_;
+  BufferPoolStats baseline_ MSV_GUARDED_BY(baseline_mu_);
 
   // Registry series shared by every pool (process-wide totals).
   obs::Counter* c_hits_;

@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 
 #include "util/logging.h"
 
@@ -56,7 +55,7 @@ void DiskDevice::AccessImpl(uint64_t pos, uint64_t len, uint64_t pages,
   // sequential is judged against the head position the previous request
   // (from any thread) left behind, so interleaved readers pay the seeks
   // a real shared disk would.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double ms = options_.request_overhead_ms;
   bool sequential = head_valid_ && pos == head_pos_;
   if (!sequential) {
@@ -100,18 +99,18 @@ void DiskDevice::AccessImpl(uint64_t pos, uint64_t len, uint64_t pages,
 }
 
 DiskStats DiskDevice::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return totals_ - baseline_;
 }
 
 DiskStats DiskDevice::total_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return totals_;
 }
 
 void DiskDevice::ResetStats() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     baseline_ = totals_;
   }
   obs::MetricRegistry::Global().BeginEpoch();
@@ -206,7 +205,7 @@ class SimEnv : public Env {
                          inner_->OpenFile(name, create));
     uint64_t base;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = regions_.find(name);
       if (it == regions_.end()) {
         base = next_region_;
@@ -237,9 +236,9 @@ class SimEnv : public Env {
  private:
   Env* inner_;
   std::shared_ptr<DiskDevice> device_;
-  std::mutex mu_;
-  std::map<std::string, uint64_t> regions_;
-  uint64_t next_region_ = 0;
+  Mutex mu_;
+  std::map<std::string, uint64_t> regions_ MSV_GUARDED_BY(mu_);
+  uint64_t next_region_ MSV_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace

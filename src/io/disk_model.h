@@ -28,11 +28,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "io/env.h"
 #include "obs/metrics.h"
+#include "util/sync.h"
 
 namespace msv::io {
 
@@ -154,11 +154,11 @@ class DiskDevice {
   SimClock clock_;
 
   /// The arm lock: serializes Access() and guards head/stat state below.
-  mutable std::mutex mu_;
-  DiskStats totals_;
-  DiskStats baseline_;
-  uint64_t head_pos_ = 0;
-  bool head_valid_ = false;
+  mutable Mutex mu_;
+  DiskStats totals_ MSV_GUARDED_BY(mu_);
+  DiskStats baseline_ MSV_GUARDED_BY(mu_);
+  uint64_t head_pos_ MSV_GUARDED_BY(mu_) = 0;
+  bool head_valid_ MSV_GUARDED_BY(mu_) = false;
 
   /// Shared body of Access()/AccessRun(); acquires the arm lock. `pages`
   /// is 0 for plain accesses (skips the io.batch.* family entirely).

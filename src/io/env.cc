@@ -13,10 +13,9 @@
 #include <cstring>
 #include <limits>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace msv::io {
 
@@ -48,8 +47,8 @@ namespace {
 // calls alias the same data, so concurrent readers (e.g. parallel sampler
 // workers) take the lock shared and writers take it exclusive.
 struct MemFileData {
-  mutable std::shared_mutex mu;
-  std::vector<char> bytes;
+  mutable SharedMutex mu;
+  std::vector<char> bytes MSV_GUARDED_BY(mu);
 };
 
 class MemFile : public File {
@@ -58,7 +57,7 @@ class MemFile : public File {
       : data_(std::move(data)) {}
 
   Result<size_t> Read(uint64_t offset, size_t n, char* scratch) override {
-    std::shared_lock<std::shared_mutex> lock(data_->mu);
+    ReaderLock lock(data_->mu);
     const auto& bytes = data_->bytes;
     if (offset >= bytes.size()) return static_cast<size_t>(0);
     size_t avail = bytes.size() - static_cast<size_t>(offset);
@@ -69,7 +68,7 @@ class MemFile : public File {
 
   Status ReadBatch(ReadRequest* reqs, size_t count) override {
     // One shared-lock acquisition for the whole batch.
-    std::shared_lock<std::shared_mutex> lock(data_->mu);
+    ReaderLock lock(data_->mu);
     const auto& bytes = data_->bytes;
     for (size_t i = 0; i < count; ++i) {
       ReadRequest& r = reqs[i];
@@ -95,7 +94,7 @@ class MemFile : public File {
       return Status::IOError("MemFile::Write beyond addressable memory: " +
                              std::to_string(end));
     }
-    std::unique_lock<std::shared_mutex> lock(data_->mu);
+    WriterLock lock(data_->mu);
     auto& bytes = data_->bytes;
     if (end > bytes.size()) bytes.resize(static_cast<size_t>(end));
     std::memcpy(bytes.data() + offset, data, n);
@@ -103,19 +102,19 @@ class MemFile : public File {
   }
 
   Status Append(const char* data, size_t n) override {
-    std::unique_lock<std::shared_mutex> lock(data_->mu);
+    WriterLock lock(data_->mu);
     auto& bytes = data_->bytes;
     bytes.insert(bytes.end(), data, data + n);
     return Status::OK();
   }
 
   Result<uint64_t> Size() const override {
-    std::shared_lock<std::shared_mutex> lock(data_->mu);
+    ReaderLock lock(data_->mu);
     return static_cast<uint64_t>(data_->bytes.size());
   }
 
   Status Truncate(uint64_t size) override {
-    std::unique_lock<std::shared_mutex> lock(data_->mu);
+    WriterLock lock(data_->mu);
     data_->bytes.resize(static_cast<size_t>(size));
     return Status::OK();
   }
@@ -130,7 +129,7 @@ class MemEnv : public Env {
  public:
   Result<std::unique_ptr<File>> OpenFile(const std::string& name,
                                          bool create) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) {
       if (!create) {
@@ -142,7 +141,7 @@ class MemEnv : public Env {
   }
 
   Status DeleteFile(const std::string& name) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (files_.erase(name) == 0) {
       return Status::NotFound("no such file: " + name);
     }
@@ -150,7 +149,7 @@ class MemEnv : public Env {
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = files_.find(from);
     if (it == files_.end()) {
       return Status::NotFound("no such file: " + from);
@@ -161,12 +160,12 @@ class MemEnv : public Env {
   }
 
   Result<bool> FileExists(const std::string& name) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return files_.count(name) > 0;
   }
 
   Result<std::vector<std::string>> ListFiles() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<std::string> names;
     names.reserve(files_.size());
     for (const auto& [name, _] : files_) names.push_back(name);
@@ -174,8 +173,8 @@ class MemEnv : public Env {
   }
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<MemFileData>> files_;
+  Mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFileData>> files_ MSV_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------
@@ -183,7 +182,10 @@ class MemEnv : public Env {
 // ---------------------------------------------------------------------------
 
 Status PosixError(const std::string& context, int err) {
-  std::string msg = context + ": " + std::strerror(err);
+  // glibc strerror is thread-safe (per-thread buffer); the portable
+  // strerror_r dance is not worth it for error-path formatting.
+  std::string msg =
+      context + ": " + std::strerror(err);  // NOLINT(concurrency-mt-unsafe)
   if (err == ENOENT) return Status::NotFound(msg);
   return Status::IOError(msg);
 }
@@ -234,7 +236,7 @@ class PosixFile : public File {
   }
 
   Status Append(const char* data, size_t n) override {
-    std::lock_guard<std::mutex> lock(append_mu_);
+    MutexLock lock(append_mu_);
     MSV_ASSIGN_OR_RETURN(uint64_t size, Size());
     return WriteAt(size, data, n);
   }
@@ -318,7 +320,7 @@ class PosixFile : public File {
     return Status::OK();
   }
 
-  std::mutex append_mu_;
+  Mutex append_mu_;
   int fd_;
 };
 

@@ -1,11 +1,11 @@
 #include "io/fault_env.h"
 
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace msv::io {
 namespace internal {
@@ -34,7 +34,7 @@ struct FaultState {
   /// Consumes one op-counter slot and decides this operation's fate.
   /// Sets `*at` to the operation's index (for error messages).
   FaultAction Gate(OpKind kind, int64_t* at) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     int64_t idx = op_count++;
     *at = idx;
     c_ops->Add();
@@ -59,16 +59,16 @@ struct FaultState {
   }
 
   Env* inner;
-  std::mutex mu;
-  int64_t op_count = 0;
-  int64_t fail_at = -1;  // -1: disarmed
-  FaultMode mode = FaultMode::kError;
-  bool sticky = true;
-  bool fired = false;
+  Mutex mu;
+  int64_t op_count MSV_GUARDED_BY(mu) = 0;
+  int64_t fail_at MSV_GUARDED_BY(mu) = -1;  // -1: disarmed
+  FaultMode mode MSV_GUARDED_BY(mu) = FaultMode::kError;
+  bool sticky MSV_GUARDED_BY(mu) = true;
+  bool fired MSV_GUARDED_BY(mu) = false;
   /// name -> bytes as of the file's last Sync(). Travels with renames.
-  std::map<std::string, std::string> synced;
+  std::map<std::string, std::string> synced MSV_GUARDED_BY(mu);
   /// name -> bytes surviving a crash (entry dir-synced + data synced).
-  std::map<std::string, std::string> durable;
+  std::map<std::string, std::string> durable MSV_GUARDED_BY(mu);
 
   obs::Counter* c_ops;
   obs::Counter* c_errors;
@@ -197,7 +197,7 @@ class FaultFile : public File {
     }
     MSV_RETURN_IF_ERROR(inner_->Sync());
     MSV_ASSIGN_OR_RETURN(std::string bytes, Slurp(inner_.get()));
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     state_->synced[name_] = bytes;
     // fsync makes the *data* durable; if the directory entry already is,
     // the whole file now survives a crash.
@@ -226,6 +226,10 @@ FaultInjectionEnv::FaultInjectionEnv(Env* inner)
   // that cannot enumerate files simply starts with an empty durable set.
   auto names = inner->ListFiles();
   if (names.ok()) {
+    // The state is freshly constructed and unshared, but `synced`/`durable`
+    // belong to FaultState (not the object under construction), so the
+    // analysis rightly wants its lock held.
+    MutexLock lock(state_->mu);
     for (const std::string& name : *names) {
       auto file = inner->OpenFile(name, /*create=*/false);
       if (!file.ok()) continue;
@@ -256,7 +260,7 @@ Status FaultInjectionEnv::DeleteFile(const std::string& name) {
     return FaultState::Injected(at);
   }
   MSV_RETURN_IF_ERROR(state_->inner->DeleteFile(name));
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   // The durable image keeps the entry: unlink is a directory mutation and
   // only SyncDir() commits it — a crash resurrects the file.
   state_->synced.erase(name);
@@ -270,7 +274,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
     return FaultState::Injected(at);
   }
   MSV_RETURN_IF_ERROR(state_->inner->RenameFile(from, to));
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   // The data-synced state travels with the inode; entry durability of the
   // rename itself waits for SyncDir().
   auto it = state_->synced.find(from);
@@ -298,7 +302,7 @@ Status FaultInjectionEnv::SyncDir() {
   }
   MSV_RETURN_IF_ERROR(state_->inner->SyncDir());
   MSV_ASSIGN_OR_RETURN(auto names, state_->inner->ListFiles());
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   // Every live directory entry is durable now; data durability is still
   // whatever the files' own Sync() history says. Entries no longer live
   // (deleted or renamed away) are committed as gone.
@@ -319,7 +323,7 @@ Status FaultInjectionEnv::SyncDir() {
 
 void FaultInjectionEnv::ArmFault(int64_t fail_at_op, FaultMode mode,
                                  bool sticky) {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->fail_at = fail_at_op;
   state_->mode = mode;
   state_->sticky = sticky;
@@ -327,17 +331,17 @@ void FaultInjectionEnv::ArmFault(int64_t fail_at_op, FaultMode mode,
 }
 
 void FaultInjectionEnv::ClearFault() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->fail_at = -1;
 }
 
 int64_t FaultInjectionEnv::op_count() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->op_count;
 }
 
 bool FaultInjectionEnv::fault_fired() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->fired;
 }
 
@@ -346,7 +350,7 @@ Status FaultInjectionEnv::DropUnsyncedData() {
   // Uncounted: this is the simulated power loss itself, not a workload op.
   std::map<std::string, std::string> durable;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     state_->c_crashes->Add();
     durable = state_->durable;
   }
@@ -359,7 +363,7 @@ Status FaultInjectionEnv::DropUnsyncedData() {
   for (const auto& [name, bytes] : durable) {
     MSV_RETURN_IF_ERROR(internal::Restore(state_->inner, name, bytes));
   }
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->synced = durable;
   return Status::OK();
 }

@@ -89,7 +89,7 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MSV_DCHECK(gauges_.find(name) == gauges_.end());
   MSV_DCHECK(histograms_.find(name) == histograms_.end());
   auto it = counters_.find(name);
@@ -101,7 +101,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MSV_DCHECK(counters_.find(name) == counters_.end());
   MSV_DCHECK(histograms_.find(name) == histograms_.end());
   auto it = gauges_.find(name);
@@ -113,7 +113,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
 }
 
 LogHistogram* MetricRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MSV_DCHECK(counters_.find(name) == counters_.end());
   MSV_DCHECK(gauges_.find(name) == gauges_.end());
   auto it = histograms_.find(name);
@@ -138,7 +138,7 @@ std::string MetricRegistry::Labeled(
 }
 
 void MetricRegistry::BeginEpoch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++epoch_;
   for (const auto& [name, c] : counters_) {
     counter_baselines_[name] = c->Value();
@@ -146,18 +146,18 @@ void MetricRegistry::BeginEpoch() {
 }
 
 uint64_t MetricRegistry::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return epoch_;
 }
 
 uint64_t MetricRegistry::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return version_;
 }
 
 void MetricRegistry::ListCounters(
     std::vector<std::pair<std::string, Counter*>>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out->clear();
   out->reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -166,7 +166,7 @@ void MetricRegistry::ListCounters(
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.epoch = epoch_;
   snap.counters.reserve(counters_.size());

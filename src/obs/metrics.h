@@ -21,12 +21,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/json.h"
 #include "util/histogram.h"
+#include "util/sync.h"
 
 namespace msv::obs {
 
@@ -175,13 +175,15 @@ class MetricRegistry {
   void ListCounters(std::vector<std::pair<std::string, Counter*>>* out) const;
 
  private:
-  mutable std::mutex mu_;
-  uint64_t version_ = 0;
-  uint64_t epoch_ = 0;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, uint64_t> counter_baselines_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+  mutable Mutex mu_;
+  uint64_t version_ MSV_GUARDED_BY(mu_) = 0;
+  uint64_t epoch_ MSV_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MSV_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> counter_baselines_ MSV_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ MSV_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_
+      MSV_GUARDED_BY(mu_);
 };
 
 }  // namespace msv::obs

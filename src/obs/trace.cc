@@ -251,7 +251,8 @@ void AddTraceEvent(const std::string& name,
 }
 
 bool ExportTraceIfRequested(const Tracer& tracer, const char* env_var) {
-  const char* path = std::getenv(env_var);
+  // Read-only env lookup; the process never calls setenv concurrently.
+  const char* path = std::getenv(env_var);  // NOLINT(concurrency-mt-unsafe)
   if (!path || !*path) return false;
   std::ofstream out(path, std::ios::app);
   if (!out) {

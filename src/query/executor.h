@@ -16,14 +16,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "core/sample_view.h"
 #include "query/ast.h"
 #include "query/catalog.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace msv::query {
 
@@ -50,27 +49,45 @@ class Executor {
 
   /// Dispatch without taking stmt_mu_ — for EXPLAIN ANALYZE recursion,
   /// which already holds the lock for the (unwrapped) inner statement.
-  Result<std::string> ExecuteLocked(const Statement& statement);
+  ///
+  /// The statement methods below are annotated REQUIRES_SHARED even for
+  /// writes: the single dispatcher serves both classes, so "shared or
+  /// better" is the strongest precondition expressible to the analysis.
+  /// Write exclusivity is enforced where the lock is chosen — Execute()
+  /// takes stmt_mu_ exclusive for every IsWriteStatement() statement.
+  Result<std::string> ExecuteLocked(const Statement& statement)
+      MSV_REQUIRES_SHARED(stmt_mu_);
 
-  Result<std::string> ExecGenerate(const GenerateTableStmt& stmt);
-  Result<std::string> ExecCreateView(const CreateViewStmt& stmt);
-  Result<std::string> ExecSample(const SampleStmt& stmt);
-  Result<std::string> ExecEstimate(const EstimateStmt& stmt);
-  Result<std::string> ExecInsert(const InsertStmt& stmt);
-  Result<std::string> ExecRebuild(const RebuildStmt& stmt);
-  Result<std::string> ExecDropView(const DropViewStmt& stmt);
-  Result<std::string> ExecShow(const ShowStmt& stmt);
-  Result<std::string> ExecExplain(const ExplainStmt& stmt);
+  Result<std::string> ExecGenerate(const GenerateTableStmt& stmt)
+      MSV_REQUIRES_SHARED(stmt_mu_);
+  Result<std::string> ExecCreateView(const CreateViewStmt& stmt)
+      MSV_REQUIRES_SHARED(stmt_mu_);
+  Result<std::string> ExecSample(const SampleStmt& stmt)
+      MSV_REQUIRES_SHARED(stmt_mu_);
+  Result<std::string> ExecEstimate(const EstimateStmt& stmt)
+      MSV_REQUIRES_SHARED(stmt_mu_);
+  Result<std::string> ExecInsert(const InsertStmt& stmt)
+      MSV_REQUIRES_SHARED(stmt_mu_);
+  Result<std::string> ExecRebuild(const RebuildStmt& stmt)
+      MSV_REQUIRES_SHARED(stmt_mu_);
+  Result<std::string> ExecDropView(const DropViewStmt& stmt)
+      MSV_REQUIRES_SHARED(stmt_mu_);
+  Result<std::string> ExecShow(const ShowStmt& stmt)
+      MSV_REQUIRES_SHARED(stmt_mu_);
+  Result<std::string> ExecExplain(const ExplainStmt& stmt)
+      MSV_REQUIRES_SHARED(stmt_mu_);
 
   /// Plan summary for EXPLAIN (no execution): statement kind, the range
   /// query it induces and the view geometry it would touch.
-  Result<std::string> ExplainPlan(const Statement& statement);
+  Result<std::string> ExplainPlan(const Statement& statement)
+      MSV_REQUIRES_SHARED(stmt_mu_);
 
   /// Opens (and caches) the view handle; fails for unknown views. Safe
   /// under the shared statement lock: the cache has its own mutex, and a
   /// cached pointer stays valid while any statement lock is held (only
   /// DROP VIEW — exclusive — erases entries).
-  Result<core::MaterializedSampleView*> GetView(const std::string& name);
+  Result<core::MaterializedSampleView*> GetView(const std::string& name)
+      MSV_REQUIRES_SHARED(stmt_mu_);
 
   /// Translates WHERE predicates to a RangeQuery on the view's indexed
   /// dimensions (unreferenced dimensions stay unbounded); predicates on
@@ -84,12 +101,12 @@ class Executor {
 
   /// Reader/writer statement lock (see file comment). The catalog and the
   /// views' contents are only mutated while it is held exclusively.
-  mutable std::shared_mutex stmt_mu_;
+  mutable SharedMutex stmt_mu_;
   /// Guards the open_views_ map itself (concurrent readers may race to
   /// open the same view); ordered after stmt_mu_.
-  mutable std::mutex views_mu_;
+  mutable Mutex views_mu_ MSV_ACQUIRED_AFTER(stmt_mu_);
   std::map<std::string, std::unique_ptr<core::MaterializedSampleView>>
-      open_views_;
+      open_views_ MSV_GUARDED_BY(views_mu_);
   /// Advanced per sampling statement; atomic so concurrent readers draw
   /// distinct seeds while a serial script sees the historical sequence.
   std::atomic<uint64_t> next_seed_{0x415ce7};

@@ -19,32 +19,38 @@ SessionPool::SessionPool(Executor* executor, size_t threads)
 
 SessionPool::~SessionPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.SignalAll();
   for (std::thread& w : workers_) w.join();
 }
 
 uint64_t SessionPool::Submit(std::string script) {
   uint64_t ticket;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ticket = next_ticket_++;
     jobs_.emplace(ticket, Job{std::move(script), std::nullopt});
     queue_.push_back(ticket);
   }
-  job_cv_.notify_one();
+  job_cv_.Signal();
   return ticket;
 }
 
 Result<std::string> SessionPool::Wait(uint64_t ticket) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = jobs_.find(ticket);
   MSV_CHECK_MSG(it != jobs_.end(), "unknown or already-collected ticket");
-  done_cv_.wait(lock, [&] { return it->second.result.has_value(); });
-  Result<std::string> result = std::move(*it->second.result);
-  jobs_.erase(it);
+  // Hold a reference, not the iterator: done_cv_ releases mu_ while
+  // blocked, and a concurrent Submit() may rehash jobs_, invalidating
+  // iterators. References to values survive a rehash.
+  Job& job = it->second;
+  while (!job.result.has_value()) {
+    done_cv_.Wait(mu_);
+  }
+  Result<std::string> result = std::move(*job.result);
+  jobs_.erase(ticket);
   return result;
 }
 
@@ -54,8 +60,10 @@ void SessionPool::WorkerLoop(size_t session_index) {
     uint64_t ticket;
     std::string script;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) {
+        job_cv_.Wait(mu_);
+      }
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       ticket = queue_.front();
       queue_.pop_front();
@@ -63,10 +71,10 @@ void SessionPool::WorkerLoop(size_t session_index) {
     }
     Result<std::string> result = executor_->Run(script);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       jobs_.at(ticket).result = std::move(result);
     }
-    done_cv_.notify_all();
+    done_cv_.SignalAll();
   }
 }
 

@@ -9,10 +9,8 @@
 #ifndef MSV_QUERY_SESSION_POOL_H_
 #define MSV_QUERY_SESSION_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -21,6 +19,7 @@
 
 #include "query/executor.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace msv::query {
 
@@ -59,13 +58,13 @@ class SessionPool {
   void WorkerLoop(size_t session_index);
 
   Executor* executor_;
-  std::mutex mu_;
-  std::condition_variable job_cv_;   // workers wait: queue non-empty
-  std::condition_variable done_cv_;  // waiters wait: their job finished
-  std::deque<uint64_t> queue_;
-  std::unordered_map<uint64_t, Job> jobs_;
-  uint64_t next_ticket_ = 1;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar job_cv_;   // workers wait: queue non-empty
+  CondVar done_cv_;  // waiters wait: their job finished
+  std::deque<uint64_t> queue_ MSV_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Job> jobs_ MSV_GUARDED_BY(mu_);
+  uint64_t next_ticket_ MSV_GUARDED_BY(mu_) = 1;
+  bool stop_ MSV_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,263 @@
+// Capability-annotated synchronization primitives.
+//
+// Every lock in the library goes through these wrappers so that Clang's
+// Thread Safety Analysis (-Wthread-safety) can prove the locking
+// discipline at compile time: which fields a mutex guards (MSV_GUARDED_BY),
+// which private methods may only run with a lock held (MSV_REQUIRES /
+// MSV_REQUIRES_SHARED), and that every acquire is matched by a release on
+// every path. On compilers without the annotations (GCC) the macros expand
+// to nothing and the wrappers are zero-cost veneers over the std types, so
+// the portable build is unchanged while every Clang build — the CI
+// `thread-safety` job compiles with -Wthread-safety -Wthread-safety-beta
+// promoted to errors — rejects discipline violations before they become
+// TSan-only interleaving bugs.
+//
+// Raw std::mutex / std::shared_mutex / std::lock_guard / std::unique_lock /
+// std::condition_variable are banned outside this header by the
+// msv-raw-sync lint rule (tools/lint.py). Annotation conventions are
+// documented in DESIGN.md §11; the negative-compilation harness in
+// tests/thread_safety_compile_test.cmake proves the analysis actually
+// rejects the classic bad patterns (unguarded read, missing unlock, write
+// under a shared lock).
+
+#ifndef MSV_UTIL_SYNC_H_
+#define MSV_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Thread-safety annotation macros (Clang attributes; no-ops elsewhere).
+// Names follow the clang documentation's canonical macro set with an MSV_
+// prefix to keep the global namespace clean.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define MSV_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MSV_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define MSV_CAPABILITY(x) MSV_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define MSV_SCOPED_CAPABILITY MSV_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be accessed with the given capability held (exclusively
+/// for writes, at least shared for reads).
+#define MSV_GUARDED_BY(x) MSV_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed with the capability.
+#define MSV_PT_GUARDED_BY(x) MSV_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability held exclusively on entry (and does
+/// not release it).
+#define MSV_REQUIRES(...) \
+  MSV_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held at least shared on entry.
+#define MSV_REQUIRES_SHARED(...) \
+  MSV_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively and holds it on return.
+#define MSV_ACQUIRE(...) \
+  MSV_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared and holds it on return.
+#define MSV_ACQUIRE_SHARED(...) \
+  MSV_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases an exclusively-held capability.
+#define MSV_RELEASE(...) \
+  MSV_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function releases a shared-held capability.
+#define MSV_RELEASE_SHARED(...) \
+  MSV_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability whatever mode it was acquired in —
+/// the right destructor annotation for scoped lockers that may hold the
+/// underlying capability shared (ReaderLock).
+#if defined(__clang__) && __has_attribute(release_generic_capability)
+#define MSV_RELEASE_GENERIC(...) \
+  __attribute__((release_generic_capability(__VA_ARGS__)))
+#else
+#define MSV_RELEASE_GENERIC(...) \
+  MSV_THREAD_ANNOTATION_(unlock_function(__VA_ARGS__))
+#endif
+
+/// Function attempts the acquire; holds the capability iff it returned
+/// the given boolean value.
+#define MSV_TRY_ACQUIRE(...) \
+  MSV_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define MSV_TRY_ACQUIRE_SHARED(...) \
+  MSV_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard for functions that
+/// acquire it themselves).
+#define MSV_EXCLUDES(...) MSV_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked assertion that the capability is held; informs the
+/// analysis on paths it cannot prove (e.g. external locking contracts).
+#define MSV_ASSERT_CAPABILITY(x) MSV_THREAD_ANNOTATION_(assert_capability(x))
+
+#define MSV_ASSERT_SHARED_CAPABILITY(x) \
+  MSV_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability (lock accessors).
+#define MSV_RETURN_CAPABILITY(x) MSV_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Documented lock-ordering edges, checked under -Wthread-safety-beta.
+#define MSV_ACQUIRED_BEFORE(...) \
+  MSV_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MSV_ACQUIRED_AFTER(...) \
+  MSV_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the discipline holds anyway.
+#define MSV_NO_THREAD_SAFETY_ANALYSIS \
+  MSV_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace msv {
+
+class CondVar;
+
+/// Plain exclusive mutex (std::mutex) carrying the "mutex" capability.
+class MSV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MSV_ACQUIRE() { mu_.lock(); }
+  void Unlock() MSV_RELEASE() { mu_.unlock(); }
+  bool TryLock() MSV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis (not the runtime) that this thread holds the
+  /// lock — for contracts the analysis cannot see, e.g. callbacks invoked
+  /// under a lock taken elsewhere.
+  void AssertHeld() MSV_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (std::shared_mutex) carrying the "shared_mutex"
+/// capability: writes need Lock(), reads need at least LockShared().
+class MSV_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() MSV_ACQUIRE() { mu_.lock(); }
+  void Unlock() MSV_RELEASE() { mu_.unlock(); }
+  bool TryLock() MSV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() MSV_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() MSV_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() MSV_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  void AssertHeld() MSV_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() MSV_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (the std::lock_guard replacement).
+class MSV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MSV_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() MSV_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex (writer side).
+class MSV_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MSV_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() MSV_RELEASE_GENERIC() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock over a SharedMutex (reader side). Writes to fields
+/// guarded by the SharedMutex are compile errors while only this is held.
+class MSV_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) MSV_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() MSV_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable waiting on a Mutex. Wait takes the mutex the caller
+/// already holds — annotated MSV_REQUIRES(mu) — so the analysis checks the
+/// wait is issued under the right lock. There is deliberately no
+/// predicate-lambda overload: the analysis cannot see through lambda
+/// boundaries, so callers write the standard explicit loop
+///
+///     MutexLock lock(mu_);
+///     while (!condition) cv_.Wait(mu_);
+///
+/// which keeps every guarded read inside the annotated function body.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen; always wait in a condition loop.
+  void Wait(Mutex& mu) MSV_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Timed wait; returns false on timeout (true on notify OR spurious
+  /// wakeup — re-check the condition either way).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      MSV_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    bool notified = cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace msv
+
+#endif  // MSV_UTIL_SYNC_H_

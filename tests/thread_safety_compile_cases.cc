@@ -1,0 +1,114 @@
+// Negative-compilation cases for Clang's thread-safety analysis.
+//
+// Compiled by tests/thread_safety_compile_test.cmake with
+//   -Wthread-safety -Wthread-safety-beta -Werror -fsyntax-only
+// once with no defines (must compile CLEAN — the baseline proves the
+// harness itself is well-formed) and once per MSV_NC_* macro (each must
+// FAIL — proving the analysis actually rejects that discipline
+// violation). A bad pattern that stops failing here means the annotation
+// layer regressed and the CI thread-safety gate is no longer protecting
+// the real locking code.
+//
+// Every case lives in an ordinary member or free function: constructors
+// and destructors are exempt from the analysis, so a violation placed
+// there would pass vacuously.
+
+#include <cstdint>
+
+#include "util/sync.h"
+
+namespace msv {
+namespace nc {
+
+class Guarded {
+ public:
+  void IncrementLocked() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  uint64_t ReadLocked() {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+#if defined(MSV_NC_UNGUARDED_READ)
+  // BAD: reads a guarded field with no lock held.
+  uint64_t ReadUnguarded() { return value_; }
+#endif
+
+#if defined(MSV_NC_UNGUARDED_WRITE)
+  // BAD: writes a guarded field with no lock held.
+  void WriteUnguarded() { value_ = 7; }
+#endif
+
+#if defined(MSV_NC_MISSING_UNLOCK)
+  // BAD: returns while still holding mu_ (no matching release).
+  void LockWithoutUnlock() {
+    mu_.Lock();
+    ++value_;
+  }
+#endif
+
+#if defined(MSV_NC_UNLOCK_NOT_HELD)
+  // BAD: releases a mutex this thread does not hold.
+  void UnlockNotHeld() { mu_.Unlock(); }
+#endif
+
+#if defined(MSV_NC_DOUBLE_LOCK)
+  // BAD: acquires a non-reentrant mutex twice.
+  void DoubleLock() {
+    MutexLock outer(mu_);
+    MutexLock inner(mu_);  // deadlock at runtime; error at compile time
+    ++value_;
+  }
+#endif
+
+ private:
+  Mutex mu_;
+  uint64_t value_ MSV_GUARDED_BY(mu_) = 0;
+};
+
+class SharedGuarded {
+ public:
+  uint64_t ReadShared() {
+    ReaderLock lock(mu_);
+    return value_;
+  }
+
+  void WriteExclusive() {
+    WriterLock lock(mu_);
+    ++value_;
+  }
+
+#if defined(MSV_NC_WRITE_UNDER_SHARED)
+  // BAD: writes a guarded field holding only the shared (reader) side.
+  void WriteUnderSharedLock() {
+    ReaderLock lock(mu_);
+    ++value_;
+  }
+#endif
+
+#if defined(MSV_NC_REQUIRES_NOT_HELD)
+  // BAD: calls a REQUIRES method without the capability.
+  void CallRequiresWithoutLock() { MutateLocked(); }
+#endif
+
+ private:
+  void MutateLocked() MSV_REQUIRES(mu_) { ++value_; }
+
+  SharedMutex mu_;
+  uint64_t value_ MSV_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the TU is never empty and the classes are odr-used.
+inline uint64_t Touch() {
+  Guarded g;
+  g.IncrementLocked();
+  SharedGuarded s;
+  s.WriteExclusive();
+  return g.ReadLocked() + s.ReadShared();
+}
+
+}  // namespace nc
+}  // namespace msv

@@ -1,0 +1,58 @@
+# Negative-compilation driver for the thread-safety analysis.
+#
+# Invoked as a CTest test (see tests/CMakeLists.txt) with:
+#   cmake -DCXX=<clang++> -DSRC=<thread_safety_compile_cases.cc>
+#         -DINCLUDE_DIR=<repo>/src -P thread_safety_compile_test.cmake
+#
+# Asserts that the baseline translation unit compiles cleanly under
+# -Wthread-safety -Wthread-safety-beta -Werror, and that each MSV_NC_*
+# bad-pattern define makes the same compile FAIL with a thread-safety
+# diagnostic. Requires a Clang compiler; the configure step only
+# registers this test when CMAKE_CXX_COMPILER_ID matches Clang.
+
+if(NOT DEFINED CXX OR NOT DEFINED SRC OR NOT DEFINED INCLUDE_DIR)
+  message(FATAL_ERROR "usage: cmake -DCXX=... -DSRC=... -DINCLUDE_DIR=... -P thread_safety_compile_test.cmake")
+endif()
+
+set(FLAGS -std=c++20 -fsyntax-only -Wall -Wextra
+    -Wthread-safety -Wthread-safety-beta -Werror "-I${INCLUDE_DIR}")
+
+# Baseline: the harness itself must be clean, otherwise every negative
+# case below would "fail to compile" for the wrong reason.
+execute_process(
+  COMMAND ${CXX} ${FLAGS} ${SRC}
+  RESULT_VARIABLE baseline_rc
+  OUTPUT_VARIABLE baseline_out
+  ERROR_VARIABLE baseline_err)
+if(NOT baseline_rc EQUAL 0)
+  message(FATAL_ERROR "baseline compile of ${SRC} failed (rc=${baseline_rc}):\n${baseline_err}")
+endif()
+message(STATUS "baseline: clean compile OK")
+
+set(BAD_CASES
+  MSV_NC_UNGUARDED_READ
+  MSV_NC_UNGUARDED_WRITE
+  MSV_NC_MISSING_UNLOCK
+  MSV_NC_UNLOCK_NOT_HELD
+  MSV_NC_DOUBLE_LOCK
+  MSV_NC_WRITE_UNDER_SHARED
+  MSV_NC_REQUIRES_NOT_HELD)
+
+foreach(case IN LISTS BAD_CASES)
+  execute_process(
+    COMMAND ${CXX} ${FLAGS} -D${case} ${SRC}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "${case}: compiled CLEAN but must be rejected — "
+            "the thread-safety analysis is not catching this pattern")
+  endif()
+  if(NOT err MATCHES "thread-safety|thread_safety")
+    message(FATAL_ERROR "${case}: failed for the wrong reason (no "
+            "thread-safety diagnostic in stderr):\n${err}")
+  endif()
+  message(STATUS "${case}: rejected as expected")
+endforeach()
+
+message(STATUS "thread-safety negative-compilation checks passed")

@@ -5,6 +5,8 @@ Usage:
     tools/lint.py [--fix-none] [paths...]          # default: src tools
     tools/lint.py --no-clang-tidy src tests
     tools/lint.py --require-clang-tidy src         # CI: fail if missing
+    tools/lint.py --diff origin/main src           # clang-tidy only on
+                                                   # files changed vs REF
 
 Custom rules (things clang-tidy cannot express for this repo):
 
@@ -40,6 +42,17 @@ Custom rules (things clang-tidy cannot express for this repo):
                          access per page where File::ReadBatch /
                          AceTree::ReadLeaves / BufferPool::GetBatch
                          coalesce the adjacent run into one.
+  msv-raw-sync           no raw std sync primitives (std::mutex,
+                         std::shared_mutex, std::lock_guard,
+                         std::unique_lock, std::shared_lock,
+                         std::scoped_lock, std::condition_variable, or
+                         their <mutex>/<shared_mutex>/
+                         <condition_variable> includes) outside
+                         src/util/sync.h. The capability-annotated
+                         wrappers there are what Clang's -Wthread-safety
+                         analysis checks; a raw primitive is invisible
+                         to it. Exemption: `// NOLINT(msv-raw-sync)`
+                         with a justifying comment.
 
 A finding is suppressed by `// NOLINT` or `// NOLINT(<rule>)` on the
 same line. Exit code: 0 clean, 1 findings, 2 usage/environment error.
@@ -358,6 +371,40 @@ def check_batched_io(path: Path, lines: list[str], findings: list[Finding]):
                 "seek per adjacent run instead of one per page)"))
 
 
+# --- msv-raw-sync ----------------------------------------------------------
+
+# The only file allowed to touch std sync primitives: the capability-
+# annotated wrapper layer itself. Everywhere else uses msv::Mutex /
+# SharedMutex / MutexLock / ReaderLock / WriterLock / CondVar so the
+# thread-safety analysis sees every acquire and release.
+RAW_SYNC_ALLOWED = {
+    ("src", "util", "sync.h"),
+}
+RAW_SYNC_TYPE_RE = re.compile(
+    r"std\s*::\s*(?:recursive_|timed_|recursive_timed_)?mutex\b"
+    r"|std\s*::\s*shared_(?:timed_)?mutex\b"
+    r"|std\s*::\s*(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    r"|std\s*::\s*condition_variable(?:_any)?\b")
+RAW_SYNC_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+
+
+def check_raw_sync(path: Path, lines: list[str], findings: list[Finding]):
+    rel = path.relative_to(REPO_ROOT)
+    if rel.parts in RAW_SYNC_ALLOWED:
+        return
+    for no, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if RAW_SYNC_TYPE_RE.search(line) or RAW_SYNC_INCLUDE_RE.search(line):
+            if is_suppressed(raw, "msv-raw-sync"):
+                continue
+            findings.append(Finding(
+                path, no, "msv-raw-sync",
+                "raw std sync primitive outside src/util/sync.h — use the "
+                "capability-annotated wrappers (Mutex/MutexLock/CondVar...) "
+                "so -Wthread-safety checks the locking discipline"))
+
+
 # --- clang-tidy ------------------------------------------------------------
 
 def run_clang_tidy(paths: list[Path], require: bool) -> int:
@@ -421,6 +468,9 @@ def main() -> int:
                     help="run only the MSV-custom rules")
     ap.add_argument("--require-clang-tidy", action="store_true",
                     help="fail (exit 2) when clang-tidy is unavailable")
+    ap.add_argument("--diff", metavar="REF",
+                    help="restrict clang-tidy to files changed since git "
+                         "REF (custom rules still scan everything)")
     args = ap.parse_args()
 
     files = collect_files(args.paths)
@@ -436,13 +486,27 @@ def main() -> int:
         check_stats_direct(path, lines, findings)
         check_raw_seek(path, lines, findings)
         check_batched_io(path, lines, findings)
+        check_raw_sync(path, lines, findings)
 
     for f in findings:
         print(f)
 
+    tidy_files = files
+    if args.diff:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", args.diff, "--"],
+            cwd=REPO_ROOT, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"lint.py: git diff {args.diff} failed:\n{proc.stderr}",
+                  file=sys.stderr)
+            return 2
+        changed = {(REPO_ROOT / name.strip()).resolve()
+                   for name in proc.stdout.splitlines() if name.strip()}
+        tidy_files = [p for p in files if p.resolve() in changed]
+
     tidy_rc = 0
     if not args.no_clang_tidy:
-        tidy_rc = run_clang_tidy(files, args.require_clang_tidy)
+        tidy_rc = run_clang_tidy(tidy_files, args.require_clang_tidy)
     if tidy_rc == 2:
         return 2
     if findings or tidy_rc:
