@@ -1,0 +1,181 @@
+// Telemetry-overhead benchmark: what does always-on observability cost
+// the statement hot path?
+//
+// Drives one Executor over an in-memory SALE view with a fixed batch of
+// ESTIMATE statements under three configurations:
+//
+//   base      poller stopped, slow-query log disarmed — the default
+//             serving configuration (disarmed fast path is one relaxed
+//             atomic load per statement).
+//   poller    a MetricsPoller snapshotting the registry at --interval_ms
+//             while the same batch runs.
+//   slowlog   slow-query log armed with a huge threshold, so every
+//             statement pays the cost capture (ThreadDiskBusyUs /
+//             ThreadPoolPages reads, ledger reset, wall clock) but the
+//             ring is never written.
+//
+// Configurations alternate across --reps repetitions and the per-config
+// minimum is reported, which suppresses scheduler noise; overhead
+// percentages are computed from those minima. Writes
+// bench_results/BENCH_obs_overhead.json with poller_overhead_pct and
+// slowlog_overhead_pct so CI can track the "telemetry is free" claim
+// (target: poller overhead under 1%).
+//
+// --prom_out=<path> additionally dumps the post-run registry in
+// Prometheus text exposition format and validates it with the built-in
+// parser, giving CI a scrape-ready artifact exercised end-to-end.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "io/env.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/timeseries.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "util/logging.h"
+
+namespace msv::bench {
+namespace {
+
+double WallMsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Runs the fixed statement batch once; returns wall ms.
+double RunBatch(query::Executor* exec,
+                const std::vector<query::Statement>& batch) {
+  auto start = std::chrono::steady_clock::now();
+  for (const query::Statement& statement : batch) {
+    auto result = exec->Execute(statement);
+    MSV_CHECK_MSG(result.ok(), "bench statement failed");
+  }
+  return WallMsSince(start);
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"rows", "50000"},
+               {"statements", "400"},
+               {"samples", "200"},
+               {"interval_ms", "5"},
+               {"reps", "5"},
+               {"prom_out", ""},
+               {"smoke", "0"}});
+  const bool smoke = flags.GetInt("smoke") != 0;
+  const uint64_t rows = smoke ? 20'000 : flags.GetInt("rows");
+  const size_t statements = smoke ? 150 : flags.GetInt("statements");
+  const uint64_t samples = flags.GetInt("samples");
+  const uint64_t interval_ms = flags.GetInt("interval_ms");
+  const size_t reps = smoke ? 3 : flags.GetInt("reps");
+
+  auto env = io::NewMemEnv();
+  auto exec_or = query::Executor::Open(env.get());
+  MSV_CHECK(exec_or.ok());
+  auto exec = std::move(exec_or).value();
+  auto setup = exec->Run(
+      "GENERATE TABLE sale ROWS " + std::to_string(rows) +
+      " SEED 7; CREATE MATERIALIZED SAMPLE VIEW v AS SELECT * FROM sale "
+      "INDEX ON day;");
+  MSV_CHECK_MSG(setup.ok(), "bench setup failed");
+
+  // Pre-parse the batch once so parsing cost stays out of every config.
+  std::vector<query::Statement> batch;
+  for (size_t i = 0; i < statements; ++i) {
+    double lo = static_cast<double>((i * 977) % 60000);
+    auto parsed = query::Parse(
+        "ESTIMATE AVG(amount) FROM v WHERE day BETWEEN " +
+        std::to_string(lo) + " AND " + std::to_string(lo + 30000.0) +
+        " SAMPLES " + std::to_string(samples) + ";");
+    MSV_CHECK(parsed.ok());
+    MSV_CHECK(parsed.value().size() == 1);
+    batch.push_back(std::move(parsed.value()[0]));
+  }
+
+  obs::SlowQueryLog& slow = obs::SlowQueryLog::Global();
+  slow.set_threshold_us(0);  // start from the disarmed default
+
+  // Warm the pool/view caches so the first measured pass is not special.
+  RunBatch(exec.get(), batch);
+
+  double base_ms = 1e300, poller_ms = 1e300, slowlog_ms = 1e300;
+  uint64_t polls = 0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    // base: poller stopped, slow log disarmed.
+    slow.set_threshold_us(0);
+    base_ms = std::min(base_ms, RunBatch(exec.get(), batch));
+
+    // poller: live snapshots while the batch runs.
+    {
+      obs::MetricsPollerOptions popt;
+      popt.interval_ms = interval_ms;
+      obs::MetricsPoller poller(popt);
+      poller.Start();
+      poller_ms = std::min(poller_ms, RunBatch(exec.get(), batch));
+      poller.Stop();
+      polls += poller.polls();
+    }
+
+    // slowlog: capture armed, threshold too high to ever fire.
+    slow.set_threshold_us(1ull << 62);
+    slowlog_ms = std::min(slowlog_ms, RunBatch(exec.get(), batch));
+    slow.set_threshold_us(0);
+  }
+
+  const double poller_overhead_pct = (poller_ms - base_ms) / base_ms * 100.0;
+  const double slowlog_overhead_pct = (slowlog_ms - base_ms) / base_ms * 100.0;
+  std::printf(
+      "obs_overhead: %zu statements x %zu reps (min wall ms)\n"
+      "  base     %8.2f ms\n"
+      "  poller   %8.2f ms  (%+.2f%%, %llu polls @ %llu ms)\n"
+      "  slowlog  %8.2f ms  (%+.2f%%)\n",
+      statements, reps, base_ms, poller_ms, poller_overhead_pct,
+      static_cast<unsigned long long>(polls),
+      static_cast<unsigned long long>(interval_ms), slowlog_ms,
+      slowlog_overhead_pct);
+
+  // Optional scrape-ready Prometheus dump, validated end-to-end by the
+  // built-in parser before it is written.
+  const std::string prom_out = flags.GetString("prom_out");
+  if (!prom_out.empty()) {
+    std::string text = obs::MetricRegistry::Global().DumpPrometheus();
+    Status valid = obs::ValidatePrometheusText(text);
+    MSV_CHECK_MSG(valid.ok(), "DumpPrometheus failed validation");
+    std::ofstream out(prom_out);
+    out << text;
+    MSV_CHECK_MSG(out.good(), "cannot write --prom_out file");
+    std::printf("  wrote validated Prometheus dump to %s (%zu bytes)\n",
+                prom_out.c_str(), text.size());
+  }
+
+  obs::Json numbers = obs::Json::Object();
+  numbers["rows"] = obs::Json(rows);
+  numbers["statements"] = obs::Json(static_cast<uint64_t>(statements));
+  numbers["samples_per_statement"] = obs::Json(samples);
+  numbers["reps"] = obs::Json(static_cast<uint64_t>(reps));
+  numbers["interval_ms"] = obs::Json(interval_ms);
+  numbers["smoke"] = obs::Json(smoke);
+  numbers["base_wall_ms"] = obs::Json(base_ms);
+  numbers["poller_wall_ms"] = obs::Json(poller_ms);
+  numbers["slowlog_wall_ms"] = obs::Json(slowlog_ms);
+  numbers["poller_overhead_pct"] = obs::Json(poller_overhead_pct);
+  numbers["slowlog_overhead_pct"] = obs::Json(slowlog_overhead_pct);
+  numbers["poller_polls"] = obs::Json(polls);
+  WriteBenchJson("obs_overhead", numbers);
+  return 0;
+}
+
+}  // namespace msv::bench
+
+int main(int argc, char** argv) { return msv::bench::Run(argc, argv); }

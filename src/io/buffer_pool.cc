@@ -8,6 +8,13 @@
 
 namespace msv::io {
 
+namespace {
+// Per-thread attribution of pages pinned (see ThreadPoolPages()).
+thread_local uint64_t tls_pool_pages = 0;
+}  // namespace
+
+uint64_t ThreadPoolPages() { return tls_pool_pages; }
+
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
   if (this != &other) {
     if (pool_ != nullptr) pool_->Unpin(shard_, frame_);
@@ -66,6 +73,10 @@ BufferPool::BufferPool(size_t page_size, size_t capacity_pages, size_t shards)
   c_hits_ = reg.GetCounter("io.pool.hits");
   c_misses_ = reg.GetCounter("io.pool.misses");
   c_evictions_ = reg.GetCounter("io.pool.evictions");
+  g_resident_ = reg.GetGauge("io.pool.resident_pages");
+  g_capacity_ = reg.GetGauge("io.pool.capacity_pages");
+  g_capacity_->Set(static_cast<double>(capacity_));
+  g_resident_->Set(0.0);
 }
 
 BufferPoolStats BufferPool::total_stats() const {
@@ -176,6 +187,7 @@ Result<PageRef> BufferPool::Get(File* file, uint64_t file_id,
     Frame& f = shard.frames[it->second];
     ++shard.totals.hits;
     c_hits_->Add();
+    ++tls_pool_pages;
     f.tick = ++shard.tick;
     ++f.pins;
     return PageRef(this, shard_idx, it->second, f.data.data(), f.length);
@@ -189,6 +201,8 @@ Result<PageRef> BufferPool::Get(File* file, uint64_t file_id,
     shard.map.erase(Key{f.file_id, f.page_no});
     ++shard.totals.evictions;
     c_evictions_->Add();
+    g_resident_->Set(static_cast<double>(
+        resident_.fetch_sub(1, std::memory_order_relaxed) - 1));
     f.valid = false;
   }
   if (f.data.size() != page_size_) f.data.resize(page_size_);
@@ -212,6 +226,9 @@ Result<PageRef> BufferPool::Get(File* file, uint64_t file_id,
   f.tick = ++shard.tick;
   f.valid = true;
   shard.map.emplace(key, frame_idx);
+  ++tls_pool_pages;
+  g_resident_->Set(static_cast<double>(
+      resident_.fetch_add(1, std::memory_order_relaxed) + 1));
   return PageRef(this, shard_idx, frame_idx, f.data.data(), f.length);
 }
 
@@ -235,6 +252,7 @@ Status BufferPool::GetBatch(File* file, uint64_t file_id,
     Frame& f = shard.frames[it->second];
     ++shard.totals.hits;
     c_hits_->Add();
+    ++tls_pool_pages;
     f.tick = ++shard.tick;
     ++f.pins;
     refs[i] = PageRef(this, shard_idx, it->second, f.data.data(), f.length);
@@ -288,6 +306,8 @@ Status BufferPool::GetBatch(File* file, uint64_t file_id,
           shard.map.erase(Key{fill.file_id, fill.page_no});
           ++shard.totals.evictions;
           c_evictions_->Add();
+          g_resident_->Set(static_cast<double>(
+              resident_.fetch_sub(1, std::memory_order_relaxed) - 1));
           fill.valid = false;
         }
         if (fill.data.size() != page_size_) fill.data.resize(page_size_);
@@ -298,6 +318,8 @@ Status BufferPool::GetBatch(File* file, uint64_t file_id,
         fill.pins = 0;
         fill.valid = true;
         shard.map.emplace(key, frame_idx);
+        g_resident_->Set(static_cast<double>(
+            resident_.fetch_add(1, std::memory_order_relaxed) + 1));
       }
       ++shard.totals.misses;
       c_misses_->Add();
@@ -311,6 +333,7 @@ Status BufferPool::GetBatch(File* file, uint64_t file_id,
           c_hits_->Add();
         }
         first = false;
+        ++tls_pool_pages;
         ++f.pins;
         refs[pos] =
             PageRef(this, shard_idx, frame_idx, f.data.data(), f.length);
@@ -329,6 +352,8 @@ void BufferPool::Clear() {
     for (Frame& f : shard.frames) {
       if (f.valid && f.pins == 0) {
         shard.map.erase(Key{f.file_id, f.page_no});
+        g_resident_->Set(static_cast<double>(
+            resident_.fetch_sub(1, std::memory_order_relaxed) - 1));
         f.valid = false;
       }
     }

@@ -19,6 +19,7 @@
 #ifndef MSV_IO_BUFFER_POOL_H_
 #define MSV_IO_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -30,6 +31,12 @@
 #include "util/sync.h"
 
 namespace msv::io {
+
+/// Pages acquired (pinned) through any BufferPool by the calling thread,
+/// monotone over the thread's lifetime: hits, misses and batch pins all
+/// count one page each. Per-statement cost attribution reads it before
+/// and after the work — the same race-free idiom as ThreadDiskBusyUs().
+uint64_t ThreadPoolPages();
 
 struct BufferPoolStats {
   uint64_t hits = 0;
@@ -194,10 +201,17 @@ class BufferPool {
   mutable Mutex baseline_mu_;
   BufferPoolStats baseline_ MSV_GUARDED_BY(baseline_mu_);
 
-  // Registry series shared by every pool (process-wide totals).
+  /// Cross-shard resident-frame count mirrored into the registry gauge
+  /// on every change (relaxed; the gauge is advisory telemetry).
+  std::atomic<size_t> resident_{0};
+
+  // Registry series shared by every pool (process-wide totals; the
+  // gauges are last-writer-wins across pools).
   obs::Counter* c_hits_;
   obs::Counter* c_misses_;
   obs::Counter* c_evictions_;
+  obs::Gauge* g_resident_;
+  obs::Gauge* g_capacity_;
 };
 
 }  // namespace msv::io

@@ -31,6 +31,7 @@ DiskDevice::DiskDevice(DiskModelOptions options) : options_(options) {
   c_batch_accesses_ = reg.GetCounter("io.batch.accesses");
   c_batch_pages_ = reg.GetCounter("io.batch.pages");
   h_batch_pages_ = reg.GetHistogram("io.batch.pages_per_access");
+  g_clock_ms_ = reg.GetGauge("io.disk.clock_ms");
 }
 
 namespace {
@@ -68,6 +69,7 @@ void DiskDevice::AccessImpl(uint64_t pos, uint64_t len, uint64_t pages,
   }
   ms += static_cast<double>(len) / (options_.transfer_mb_per_s * 1e6) * 1e3;
   clock_.AdvanceMs(ms);
+  g_clock_ms_->Set(clock_.NowMs());
   // One rounding, shared by the struct total, the registry counter, the
   // latency histogram and the per-thread attribution, so all four views
   // agree to the microsecond.

@@ -176,6 +176,7 @@ class DiskDevice {
   obs::Counter* c_batch_accesses_;
   obs::Counter* c_batch_pages_;
   obs::LogHistogram* h_batch_pages_;
+  obs::Gauge* g_clock_ms_;
 };
 
 /// Modeled disk-busy microseconds charged by accesses issued from the

@@ -113,6 +113,48 @@ class Parser {
     return Json(v);
   }
 
+  /// Consumes exactly four hex digits at pos_; strict — strtoul-style
+  /// whitespace/sign/short prefixes are rejected.
+  bool ParseHex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) return false;
+    unsigned v = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      unsigned digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      v = (v << 4) | digit;
+    }
+    pos_ += 4;
+    *code = v;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
   Result<std::string> ParseString() {
     MSV_DCHECK(text_[pos_] == '"');
     ++pos_;
@@ -145,12 +187,27 @@ class Parser {
           out.push_back('\r');
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
-          unsigned code = static_cast<unsigned>(
-              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
-          pos_ += 4;
-          if (code > 0x7f) return Error("non-ASCII \\u escape unsupported");
-          out.push_back(static_cast<char>(code));
+          unsigned code = 0;
+          if (!ParseHex4(&code)) return Error("bad \\u escape");
+          if (code >= 0xdc00 && code <= 0xdfff) {
+            return Error("lone low surrogate");
+          }
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: must be followed by \uDC00..\uDFFF; the
+            // pair encodes one supplementary-plane code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!ParseHex4(&low)) return Error("bad \\u escape");
+            if (low < 0xdc00 || low > 0xdfff) {
+              return Error("unpaired high surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          }
+          AppendUtf8(&out, code);
           break;
         }
         default:

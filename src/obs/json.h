@@ -4,10 +4,11 @@
 // Deliberately tiny: null / bool / number / string / array / object,
 // UTF-8 passed through verbatim, numbers stored as double (exporter
 // values are counters and microsecond totals, well inside the 2^53
-// integer-exact range). Not a general-purpose parser — no \uXXXX escape
-// decoding beyond ASCII, no comments — but Parse(Dump(x)) == x for
-// everything the exporters emit, which is the contract the golden tests
-// pin down.
+// integer-exact range). \uXXXX escapes decode to UTF-8, including
+// surrogate pairs for supplementary-plane code points; lone surrogates
+// are rejected. Not a general-purpose parser — no comments — but
+// Parse(Dump(x)) == x for everything the exporters emit, which is the
+// contract the golden tests pin down.
 
 #ifndef MSV_OBS_JSON_H_
 #define MSV_OBS_JSON_H_

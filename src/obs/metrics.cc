@@ -32,6 +32,19 @@ const std::vector<double>& LogHistogram::edges() const {
   return LogLinearEdgesSingleton();
 }
 
+const std::vector<double>& LogHistogram::BucketEdges() {
+  return LogLinearEdgesSingleton();
+}
+
+void LogHistogram::SnapshotCells(std::vector<uint64_t>* counts,
+                                 uint64_t* overflow) const {
+  counts->resize(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    (*counts)[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  *overflow = overflow_.load(std::memory_order_relaxed);
+}
+
 void LogHistogram::Record(uint64_t value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);

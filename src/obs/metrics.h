@@ -79,6 +79,16 @@ class LogHistogram {
 
   std::string ToString() const;
 
+  /// The shared cell upper/lower edges every LogHistogram buckets with:
+  /// edges[i], edges[i+1] bound cell i; BucketEdges().size() - 1 cells.
+  static const std::vector<double>& BucketEdges();
+
+  /// Copies the per-cell loads (size BucketEdges().size() - 1) and the
+  /// overflow count (values >= edges.back()) for exporters that need the
+  /// raw distribution, e.g. Prometheus cumulative buckets. Each cell is
+  /// read once with relaxed loads — same consistency as Quantile().
+  void SnapshotCells(std::vector<uint64_t>* counts, uint64_t* overflow) const;
+
  private:
   const std::vector<double>& edges() const;
 
@@ -167,6 +177,13 @@ class MetricRegistry {
   uint64_t epoch() const;
 
   MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition (version 0.0.4) of every registered
+  /// metric: names sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* with an msv_
+  /// prefix, counters as `_total`, histograms as cumulative
+  /// `_bucket{le=...}` / `_sum` / `_count` series. Defined in
+  /// obs/prometheus.cc; format pinned by the golden/parse-back tests.
+  std::string DumpPrometheus() const;
 
   /// Counter list for trace-span delta capture: (name, counter) pairs in
   /// sorted name order. `version()` changes whenever a metric is

@@ -1,0 +1,59 @@
+// Prometheus text-exposition helpers: the exporter itself lives on
+// MetricRegistry::DumpPrometheus() (declared in obs/metrics.h, defined
+// here in prometheus.cc); this header adds the name mangling and a
+// strict parser/validator used by the format tests and the bench-smoke
+// CI gate, so a malformed dump fails in-tree instead of at scrape time.
+//
+// Exposition format 0.0.4: `# TYPE family kind` comment lines followed
+// by `name{label="value",...} value` samples; counter families end in
+// `_total`, histogram families expand to cumulative `_bucket{le=...}`
+// plus `_sum`/`_count`.
+
+#ifndef MSV_OBS_PROMETHEUS_H_
+#define MSV_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace msv::obs {
+
+/// Registry metric name -> Prometheus metric name: prefixed `msv_`,
+/// every character outside [a-zA-Z0-9_:] replaced by '_'
+/// ("io.disk.reads" -> "msv_io_disk_reads"). A `name{k=v}` labelled
+/// series (MetricRegistry::Labeled) must be split before sanitizing.
+std::string PrometheusName(const std::string& name);
+
+/// One exposition sample line, parsed.
+struct PromSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// One metric family: the `# TYPE` declaration plus its samples (for
+/// histograms that includes the `_bucket`/`_sum`/`_count` series).
+struct PromFamily {
+  std::string name;
+  std::string type;  ///< counter | gauge | histogram | untyped
+  std::vector<PromSample> samples;
+};
+
+/// Strict parse of a text-exposition document: every non-comment line
+/// must be a well-formed sample (valid metric name, quoted label
+/// values, finite-or-Inf value), every sample must belong to a family
+/// declared by a preceding `# TYPE` line. Returns the families in
+/// declaration order.
+Result<std::vector<PromFamily>> ParsePrometheusText(const std::string& text);
+
+/// Parse + semantic checks: counter families named `*_total`, histogram
+/// `_bucket` series cumulative and non-decreasing in `le` order with a
+/// `+Inf` bucket equal to `_count`. OK iff a Prometheus server would
+/// ingest the document.
+Status ValidatePrometheusText(const std::string& text);
+
+}  // namespace msv::obs
+
+#endif  // MSV_OBS_PROMETHEUS_H_

@@ -1,12 +1,16 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
+#include "io/buffer_pool.h"
+#include "io/disk_model.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "query/parser.h"
 #include "relation/sale_generator.h"
@@ -87,10 +91,21 @@ std::string DescribeQuery(const ViewInfo& info,
 
 }  // namespace
 
+Executor::Executor(io::Env* env, std::unique_ptr<Catalog> catalog)
+    : env_(env), catalog_(std::move(catalog)) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  c_statements_ = reg.GetCounter("query.statements");
+  c_errors_ = reg.GetCounter("query.errors");
+  h_statement_us_ = reg.GetHistogram("query.statement_us");
+}
+
 Result<std::unique_ptr<Executor>> Executor::Open(
     io::Env* env, const std::string& catalog_file) {
   MSV_ASSIGN_OR_RETURN(std::unique_ptr<Catalog> catalog,
                        Catalog::Open(env, catalog_file));
+  // Serving picks the slow-query threshold up from the environment
+  // without any explicit opt-in at the call sites.
+  obs::SlowQueryLog::Global().ArmFromEnv();
   return std::unique_ptr<Executor>(new Executor(env, std::move(catalog)));
 }
 
@@ -138,6 +153,44 @@ Result<std::string> Executor::ExecuteLocked(const Statement& statement) {
   // by EXPLAIN ANALYZE, by the MSV_TRACE hook in Run(), or by a caller.
   obs::Span span =
       obs::StartTraceSpan(std::string("query.") + StatementName(statement));
+  c_statements_->Add();
+  obs::SlowQueryLog& slow = obs::SlowQueryLog::Global();
+  if (!slow.armed()) {
+    // Disarmed fast path: one relaxed load above, no clock reads.
+    Result<std::string> result = Dispatch(statement);
+    if (!result.ok()) c_errors_->Add();
+    return result;
+  }
+  obs::ThreadStatementLedger().Reset();
+  const uint64_t disk_before = io::ThreadDiskBusyUs();
+  const uint64_t pages_before = io::ThreadPoolPages();
+  const auto start = std::chrono::steady_clock::now();
+  Result<std::string> result = Dispatch(statement);
+  if (!result.ok()) c_errors_->Add();
+  const uint64_t wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  h_statement_us_->Record(wall_us);
+  if (wall_us >= slow.threshold_us()) {
+    const obs::StatementLedger& ledger = obs::ThreadStatementLedger();
+    obs::SlowQueryRecord rec;
+    rec.ts_us = obs::WallTimeUs();
+    rec.wall_us = wall_us;
+    rec.disk_us = io::ThreadDiskBusyUs() - disk_before;
+    rec.pages = io::ThreadPoolPages() - pages_before;
+    rec.samples = ledger.samples;
+    rec.ci_half_width = ledger.ci_half_width;
+    rec.statement = StatementName(statement);
+    rec.session = obs::ThreadLabel();
+    rec.ok = result.ok();
+    if (!result.ok()) rec.error = result.status().ToString();
+    slow.Record(std::move(rec));
+  }
+  return result;
+}
+
+Result<std::string> Executor::Dispatch(const Statement& statement) {
   // Dispatch by get_if rather than std::visit: the visitor lambda would
   // be analyzed as a separate function without this method's stmt_mu_
   // context, so the REQUIRES_SHARED callees would warn under
@@ -346,6 +399,7 @@ Result<std::string> Executor::ExecSample(const SampleStmt& stmt) {
   }
   out << "(" << emitted << " random sample" << (emitted == 1 ? "" : "s")
       << ")\n";
+  obs::ThreadStatementLedger().samples = emitted;
   return out.str();
 }
 
@@ -420,6 +474,7 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
     }
     out << "(" << groups.size() << " groups, " << agg.samples_seen()
         << " samples total)\n";
+    obs::ThreadStatementLedger().samples = agg.samples_seen();
     return out.str();
   }
 
@@ -442,19 +497,23 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
   }
 
   std::ostringstream out;
+  obs::StatementLedger& ledger = obs::ThreadStatementLedger();
   if (stmt.agg == EstimateStmt::Agg::kAvg) {
     auto e = agg.Avg();
     out << "AVG(" << stmt.column << ") = " << FormatDouble(e.value) << " +/- "
         << FormatDouble(e.half_width) << " ("
         << static_cast<int>(stmt.confidence * 100) << "% CI, " << e.samples
         << " samples)\n";
+    ledger.ci_half_width = e.half_width;
   } else {
     auto e = agg.Sum();
     out << "SUM(" << stmt.column << ") = " << FormatDouble(e.value) << " +/- "
         << FormatDouble(e.half_width) << " ("
         << static_cast<int>(stmt.confidence * 100) << "% CI, " << e.samples
         << " samples)\n";
+    ledger.ci_half_width = e.half_width;
   }
+  ledger.samples = agg.samples_seen();
   return out.str();
 }
 

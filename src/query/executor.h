@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/sample_view.h"
+#include "obs/metrics.h"
 #include "query/ast.h"
 #include "query/catalog.h"
 #include "util/result.h"
@@ -44,11 +45,14 @@ class Executor {
   Catalog& catalog() { return *catalog_; }
 
  private:
-  Executor(io::Env* env, std::unique_ptr<Catalog> catalog)
-      : env_(env), catalog_(std::move(catalog)) {}
+  Executor(io::Env* env, std::unique_ptr<Catalog> catalog);
 
   /// Dispatch without taking stmt_mu_ — for EXPLAIN ANALYZE recursion,
   /// which already holds the lock for the (unwrapped) inner statement.
+  /// Wraps Dispatch() with the per-statement cost capture feeding the
+  /// slow-query log (obs::SlowQueryLog) and the query.* counters; the
+  /// recursion means EXPLAIN ANALYZE yields records for both the inner
+  /// statement and the wrapping explain.
   ///
   /// The statement methods below are annotated REQUIRES_SHARED even for
   /// writes: the single dispatcher serves both classes, so "shared or
@@ -56,6 +60,10 @@ class Executor {
   /// Write exclusivity is enforced where the lock is chosen — Execute()
   /// takes stmt_mu_ exclusive for every IsWriteStatement() statement.
   Result<std::string> ExecuteLocked(const Statement& statement)
+      MSV_REQUIRES_SHARED(stmt_mu_);
+
+  /// The get_if dispatch chain proper (no telemetry).
+  Result<std::string> Dispatch(const Statement& statement)
       MSV_REQUIRES_SHARED(stmt_mu_);
 
   Result<std::string> ExecGenerate(const GenerateTableStmt& stmt)
@@ -110,6 +118,12 @@ class Executor {
   /// Advanced per sampling statement; atomic so concurrent readers draw
   /// distinct seeds while a serial script sees the historical sequence.
   std::atomic<uint64_t> next_seed_{0x415ce7};
+
+  /// Cached registry series (process-wide totals across executors):
+  /// statements started, statements failed, statement wall-time µs.
+  obs::Counter* c_statements_;
+  obs::Counter* c_errors_;
+  obs::LogHistogram* h_statement_us_;
 };
 
 }  // namespace msv::query

@@ -5,6 +5,7 @@
 namespace msv {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSinkFn> g_sink{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,29 +25,38 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
+LogSinkFn SetLogSink(LogSinkFn sink) { return g_sink.exchange(sink); }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
-  if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
-  }
-}
+    : enabled_(static_cast<int>(level) >= g_level.load()),
+      level_(level),
+      file_(file),
+      line_(line) {}
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (!enabled_) return;
+  LogSinkFn sink = g_sink.load();
+  if (sink) {
+    sink(level_, file_, line_, stream_.str());
+    return;
   }
+  const char* base = file_;
+  for (const char* p = file_; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  // Default sink: one preformatted line to stderr.
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), base,  // NOLINT(msv-raw-logging)
+               line_, stream_.str().c_str());
 }
 
 void CheckFailed(const char* expr, const char* file, int line,
                  const std::string& message) {
-  std::fprintf(stderr, "CHECK failed: %s at %s:%d %s\n", expr, file, line,
-               message.c_str());
+  // Abort path stays on raw stderr: it must work even mid-crash, with
+  // the structured logger's locks possibly held by the failing thread.
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d %s\n", expr, file,  // NOLINT(msv-raw-logging)
+               line, message.c_str());
   std::abort();
 }
 

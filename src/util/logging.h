@@ -19,6 +19,20 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Pluggable destination for MSV_LOG output. The default (nullptr) sink
+/// formats "[LEVEL file:line] message" onto stderr; the obs structured
+/// logger (src/obs/log.cc) installs itself here at static-init time when
+/// linked, so util cannot depend on obs yet every MSV_LOG statement
+/// routes through the structured pipeline. The sink is called once per
+/// level-enabled statement with the bare message (no prefix); it must be
+/// callable from any thread.
+using LogSinkFn = void (*)(LogLevel level, const char* file, int line,
+                           const std::string& message);
+
+/// Installs the process-wide sink; returns the previous one. Thread-safe
+/// (atomic pointer swap), but normally called once before threads start.
+LogSinkFn SetLogSink(LogSinkFn sink);
+
 namespace internal {
 
 class LogMessage {
@@ -35,6 +49,8 @@ class LogMessage {
  private:
   bool enabled_;
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

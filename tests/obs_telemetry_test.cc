@@ -1,0 +1,414 @@
+// Tests for the time-series half of the obs stack: the TimeSeries ring,
+// the MetricsPoller background thread (lifecycle, restart, concurrent
+// Start/Stop/readers — the CI tsan job runs these), the JSON-lines
+// export that msv_top tails, and the Prometheus text exposition
+// (golden output, parse-back round trip, semantic validation).
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/timeseries.h"
+#include "test_util.h"
+
+namespace msv::obs {
+namespace {
+
+using msv::testing::ValueOrDie;
+
+TimeSeriesPoint MakePoint(uint64_t ts_us, uint64_t reads) {
+  TimeSeriesPoint p;
+  p.ts_us = ts_us;
+  CounterSample c;
+  c.name = "io.disk.reads";
+  c.total = reads;
+  c.since_epoch = reads;
+  p.snapshot.counters.push_back(c);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeries ring
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, PushEvictsOldestAtCapacity) {
+  TimeSeries series(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    series.Push(MakePoint(i * 1'000'000, i * 10));
+  }
+  EXPECT_EQ(series.size(), 3u);
+  std::vector<TimeSeriesPoint> points = series.Points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points.front().ts_us, 3'000'000u);  // 1 and 2 evicted
+  EXPECT_EQ(points.back().ts_us, 5'000'000u);
+  EXPECT_EQ(series.Latest().ts_us, 5'000'000u);
+}
+
+TEST(TimeSeriesTest, EmptySeriesReportsZeroes) {
+  TimeSeries series;
+  EXPECT_EQ(series.size(), 0u);
+  EXPECT_EQ(series.Latest().ts_us, 0u);
+  EXPECT_DOUBLE_EQ(series.CounterRate("io.disk.reads", 1'000'000), 0.0);
+  EXPECT_EQ(series.CounterDelta("io.disk.reads", 1'000'000), 0u);
+}
+
+TEST(TimeSeriesTest, CounterRateOverWindow) {
+  TimeSeries series(10);
+  // 100 reads/s for 4 seconds.
+  for (uint64_t s = 0; s <= 4; ++s) {
+    series.Push(MakePoint(s * 1'000'000, s * 100));
+  }
+  // Newest vs the point >= 2s older: (400 - 200) / 2s.
+  EXPECT_DOUBLE_EQ(series.CounterRate("io.disk.reads", 2'000'000), 100.0);
+  EXPECT_EQ(series.CounterDelta("io.disk.reads", 2'000'000), 200u);
+  // Window wider than the ring clamps to the full span.
+  EXPECT_DOUBLE_EQ(series.CounterRate("io.disk.reads", 60'000'000), 100.0);
+  EXPECT_EQ(series.CounterDelta("io.disk.reads", 60'000'000), 400u);
+  // Unknown counter: no delta.
+  EXPECT_EQ(series.CounterDelta("no.such", 2'000'000), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsPoller lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(MetricsPollerTest, StartPollsImmediatelyAndStopJoins) {
+  MetricRegistry reg;
+  reg.GetCounter("c")->Add(7);
+  MetricsPollerOptions options;
+  options.interval_ms = 3600 * 1000;  // no timer ticks during the test
+  options.registry = &reg;
+  MetricsPoller poller(options);
+  EXPECT_FALSE(poller.running());
+
+  poller.Start();
+  EXPECT_TRUE(poller.running());
+  // The first poll is synchronous-ish: the thread snapshots before its
+  // first wait. Spin briefly for it.
+  for (int i = 0; i < 1000 && poller.polls() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(poller.polls(), 1u);
+  EXPECT_GE(poller.series().size(), 1u);
+  EXPECT_GT(poller.series().Latest().ts_us, 0u);
+
+  poller.Stop();
+  EXPECT_FALSE(poller.running());
+  // Ring stays readable after Stop.
+  EXPECT_GE(poller.series().size(), 1u);
+}
+
+TEST(MetricsPollerTest, DoubleStartAndDoubleStopAreNoOps) {
+  MetricRegistry reg;
+  MetricsPollerOptions options;
+  options.interval_ms = 3600 * 1000;
+  options.registry = &reg;
+  MetricsPoller poller(options);
+  poller.Start();
+  poller.Start();  // no second thread, no crash
+  EXPECT_TRUE(poller.running());
+  poller.Stop();
+  poller.Stop();  // idempotent
+  EXPECT_FALSE(poller.running());
+}
+
+TEST(MetricsPollerTest, RestartAfterStopKeepsAccumulating) {
+  MetricRegistry reg;
+  MetricsPollerOptions options;
+  options.interval_ms = 3600 * 1000;
+  options.registry = &reg;
+  MetricsPoller poller(options);
+
+  poller.Start();
+  for (int i = 0; i < 1000 && poller.polls() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  poller.Stop();
+  const uint64_t first_round = poller.polls();
+  EXPECT_GE(first_round, 1u);
+
+  poller.Start();
+  for (int i = 0; i < 1000 && poller.polls() == first_round; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  poller.Stop();
+  EXPECT_GT(poller.polls(), first_round);
+}
+
+TEST(MetricsPollerTest, TicksAccumulateAtShortInterval) {
+  MetricRegistry reg;
+  MetricsPollerOptions options;
+  options.interval_ms = 1;
+  options.registry = &reg;
+  MetricsPoller poller(options);
+  poller.Start();
+  for (int i = 0; i < 2000 && poller.polls() < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  poller.Stop();
+  EXPECT_GE(poller.polls(), 5u);
+}
+
+TEST(MetricsPollerTest, ConcurrentStartStopAndReadersAreSafe) {
+  // The TSan target: lifecycle churn from multiple threads while other
+  // threads read the series and the registry takes increments.
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("churn");
+  MetricsPollerOptions options;
+  options.interval_ms = 1;
+  options.capacity = 16;
+  options.registry = &reg;
+  MetricsPoller poller(options);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&poller] {
+      for (int i = 0; i < 50; ++i) {
+        poller.Start();
+        poller.Stop();
+      }
+    });
+  }
+  threads.emplace_back([&poller, &done] {
+    while (!done.load()) {
+      poller.series().Points();
+      poller.series().CounterRate("churn", 1'000'000);
+      poller.PollNow();
+    }
+  });
+  threads.emplace_back([c, &done] {
+    while (!done.load()) c->Add();
+  });
+
+  threads[0].join();
+  threads[1].join();
+  done.store(true);
+  threads[2].join();
+  threads[3].join();
+  EXPECT_FALSE(poller.running());
+  EXPECT_GE(poller.polls(), 1u);
+}
+
+TEST(MetricsPollerTest, DestructorStopsARunningPoller) {
+  MetricRegistry reg;
+  MetricsPollerOptions options;
+  options.interval_ms = 1;
+  options.registry = &reg;
+  {
+    MetricsPoller poller(options);
+    poller.Start();
+  }  // must not leak the thread or deadlock
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines export (the msv_top transport)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsPollerTest, ExportFileParsesBackPointByPoint) {
+  const std::string path = ::testing::TempDir() + "msv_poller_export.jsonl";
+  std::remove(path.c_str());
+
+  MetricRegistry reg;
+  reg.GetCounter("io.disk.reads")->Add(42);
+  reg.GetGauge("io.pool.resident_pages")->Set(12);
+  reg.GetHistogram("query.statement_us")->Record(640);
+  MetricsPollerOptions options;
+  options.interval_ms = 3600 * 1000;
+  options.registry = &reg;
+  options.export_path = path;
+  MetricsPoller poller(options);
+  poller.PollNow();
+  reg.GetCounter("io.disk.reads")->Add(8);
+  poller.PollNow();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<Json> points;
+  while (std::getline(in, line)) {
+    if (!line.empty()) points.push_back(ValueOrDie(Json::Parse(line)));
+  }
+  ASSERT_EQ(points.size(), 2u);
+  for (const Json& p : points) {
+    ASSERT_NE(p.Find("ts_us"), nullptr);
+    ASSERT_NE(p.Find("metrics"), nullptr);
+    ASSERT_NE(p.Find("slow_queries"), nullptr);
+  }
+  const Json* reads =
+      points[1].Find("metrics")->Find("counters")->Find("io.disk.reads");
+  ASSERT_NE(reads, nullptr);
+  EXPECT_DOUBLE_EQ(reads->Find("total")->AsNumber(), 50.0);
+  EXPECT_DOUBLE_EQ(points[1]
+                       .Find("metrics")
+                       ->Find("gauges")
+                       ->Find("io.pool.resident_pages")
+                       ->AsNumber(),
+                   12.0);
+  std::remove(path.c_str());
+}
+
+TEST(ExportPointJsonTest, SchemaMatchesWhatMsvTopParses) {
+  TimeSeriesPoint point = MakePoint(1'234'567, 99);
+  Json j = ExportPointJson(point, /*include_slow_queries=*/false);
+  EXPECT_DOUBLE_EQ(j.Find("ts_us")->AsNumber(), 1'234'567.0);
+  ASSERT_NE(j.Find("metrics"), nullptr);
+  EXPECT_EQ(j.Find("slow_queries"), nullptr);
+  Json with = ExportPointJson(point, /*include_slow_queries=*/true);
+  ASSERT_NE(with.Find("slow_queries"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusTest, NameSanitization) {
+  EXPECT_EQ(PrometheusName("io.disk.reads"), "msv_io_disk_reads");
+  EXPECT_EQ(PrometheusName("query.statement_us"), "msv_query_statement_us");
+  EXPECT_EQ(PrometheusName("weird-name with spaces"),
+            "msv_weird_name_with_spaces");
+  // Colons are legal in exposition names but reserved by convention for
+  // recording rules, so the sanitizer folds them too.
+  EXPECT_EQ(PrometheusName("colons:folded"), "msv_colons_folded");
+}
+
+TEST(PrometheusTest, GoldenDumpForSmallRegistry) {
+  MetricRegistry reg;
+  reg.GetCounter("io.disk.reads")->Add(17);
+  reg.GetGauge("io.pool.resident_pages")->Set(12.5);
+  EXPECT_EQ(reg.DumpPrometheus(),
+            "# TYPE msv_io_disk_reads_total counter\n"
+            "msv_io_disk_reads_total 17\n"
+            "# TYPE msv_io_pool_resident_pages gauge\n"
+            "msv_io_pool_resident_pages 12.5\n");
+}
+
+TEST(PrometheusTest, LabeledSeriesSplitIntoLabels) {
+  MetricRegistry reg;
+  reg.GetCounter(MetricRegistry::Labeled("io.disk.reads", {{"dev", "0"}}))
+      ->Add(3);
+  std::string text = reg.DumpPrometheus();
+  EXPECT_NE(text.find("msv_io_disk_reads_total{dev=\"0\"} 3"),
+            std::string::npos);
+  auto families = ValueOrDie(ParsePrometheusText(text));
+  ASSERT_EQ(families.size(), 1u);
+  ASSERT_EQ(families[0].samples.size(), 1u);
+  ASSERT_EQ(families[0].samples[0].labels.size(), 1u);
+  EXPECT_EQ(families[0].samples[0].labels[0].first, "dev");
+  EXPECT_EQ(families[0].samples[0].labels[0].second, "0");
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeAndValid) {
+  MetricRegistry reg;
+  LogHistogram* h = reg.GetHistogram("query.statement_us");
+  for (uint64_t v : {10, 10, 100, 1000, 5000}) h->Record(v);
+  // One overflow sample past the 2^40 grid top.
+  h->Record(1ull << 41);
+  std::string text = reg.DumpPrometheus();
+
+  ASSERT_TRUE(ValidatePrometheusText(text).ok()) << text;
+  auto families = ValueOrDie(ParsePrometheusText(text));
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].type, "histogram");
+  EXPECT_EQ(families[0].name, "msv_query_statement_us");
+
+  double last_bucket = -1;
+  double inf_bucket = -1, count = -1, sum = -1;
+  for (const PromSample& s : families[0].samples) {
+    if (s.name == "msv_query_statement_us_bucket") {
+      ASSERT_EQ(s.labels.size(), 1u);
+      EXPECT_EQ(s.labels[0].first, "le");
+      EXPECT_GE(s.value, last_bucket);  // cumulative
+      last_bucket = s.value;
+      if (s.labels[0].second == "+Inf") inf_bucket = s.value;
+    } else if (s.name == "msv_query_statement_us_count") {
+      count = s.value;
+    } else if (s.name == "msv_query_statement_us_sum") {
+      sum = s.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(inf_bucket, 6.0);  // all samples, overflow included
+  EXPECT_DOUBLE_EQ(count, 6.0);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(PrometheusTest, FullRegistryRoundTripsAndValidates) {
+  MetricRegistry reg;
+  reg.GetCounter("io.disk.reads")->Add(100);
+  reg.GetCounter("io.disk.read_bytes")->Add(1 << 20);
+  reg.GetCounter(MetricRegistry::Labeled("query.statements", {{"kind", "estimate"}}))
+      ->Add(7);
+  reg.GetGauge("io.pool.capacity_pages")->Set(64);
+  reg.GetGauge("io.disk.clock_ms")->Set(1234.5);
+  LogHistogram* h = reg.GetHistogram("io.disk.access_us");
+  for (uint64_t v = 1; v <= 300; ++v) h->Record(v * 7);
+
+  std::string text = reg.DumpPrometheus();
+  ASSERT_TRUE(ValidatePrometheusText(text).ok()) << text;
+
+  auto families = ValueOrDie(ParsePrometheusText(text));
+  size_t counters = 0, gauges = 0, histograms = 0;
+  for (const PromFamily& f : families) {
+    if (f.type == "counter") ++counters;
+    if (f.type == "gauge") ++gauges;
+    if (f.type == "histogram") ++histograms;
+  }
+  EXPECT_EQ(counters, 3u);
+  EXPECT_EQ(gauges, 2u);
+  EXPECT_EQ(histograms, 1u);
+}
+
+TEST(PrometheusTest, ValidatorRejectsMalformedDocuments) {
+  // Sample without a TYPE declaration.
+  EXPECT_FALSE(ParsePrometheusText("msv_x_total 1\n").ok());
+  // Counter family not named *_total.
+  EXPECT_FALSE(ValidatePrometheusText("# TYPE msv_x counter\nmsv_x 1\n").ok());
+  // Negative counter value.
+  EXPECT_FALSE(
+      ValidatePrometheusText("# TYPE msv_x_total counter\nmsv_x_total -1\n")
+          .ok());
+  // Histogram with non-cumulative buckets.
+  EXPECT_FALSE(ValidatePrometheusText(
+                   "# TYPE msv_h histogram\n"
+                   "msv_h_bucket{le=\"1\"} 5\n"
+                   "msv_h_bucket{le=\"2\"} 3\n"
+                   "msv_h_bucket{le=\"+Inf\"} 5\n"
+                   "msv_h_sum 9\n"
+                   "msv_h_count 5\n")
+                   .ok());
+  // Histogram missing the +Inf bucket.
+  EXPECT_FALSE(ValidatePrometheusText(
+                   "# TYPE msv_h histogram\n"
+                   "msv_h_bucket{le=\"1\"} 5\n"
+                   "msv_h_sum 9\n"
+                   "msv_h_count 5\n")
+                   .ok());
+  // Bad metric name.
+  EXPECT_FALSE(ParsePrometheusText("# TYPE 9bad counter\n9bad 1\n").ok());
+  // Garbage line.
+  EXPECT_FALSE(ParsePrometheusText("!!!\n").ok());
+}
+
+TEST(PrometheusTest, ParserAcceptsEscapesTimestampsAndInf) {
+  auto families = ValueOrDie(ParsePrometheusText(
+      "# TYPE msv_g gauge\n"
+      "msv_g{path=\"a\\\\b\\\"c\\nd\"} +Inf 1700000000000\n"));
+  ASSERT_EQ(families.size(), 1u);
+  ASSERT_EQ(families[0].samples.size(), 1u);
+  const PromSample& s = families[0].samples[0];
+  ASSERT_EQ(s.labels.size(), 1u);
+  EXPECT_EQ(s.labels[0].second, "a\\b\"c\nd");
+  EXPECT_TRUE(std::isinf(s.value));
+}
+
+}  // namespace
+}  // namespace msv::obs

@@ -314,5 +314,119 @@ TEST(TraceTest, UnsetEnvVarExportsNothing) {
   EXPECT_FALSE(ExportTraceIfRequested(tracer, "MSV_OBS_TEST_TRACE_UNSET"));
 }
 
+// ---------------------------------------------------------------------------
+// LogHistogram::Quantile edge cases (pinned: exporters and msv_top rely
+// on these exact boundary conventions)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  LogHistogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricsTest, QuantileZeroReturnsLowestEdge) {
+  LogHistogram h;
+  h.Record(100);
+  h.Record(1000);
+  // q=0 asks for "the value below everything": the grid's lowest edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), LogHistogram::BucketEdges().front());
+}
+
+TEST(MetricsTest, QuantileOneReturnsUpperEdgeOfMaxCell) {
+  LogHistogram h;
+  h.Record(100);
+  const auto& edges = LogHistogram::BucketEdges();
+  double q1 = h.Quantile(1.0);
+  // q=1 lands on the upper edge of the cell holding the max sample —
+  // within one cell (<= 25% relative width) of the true max.
+  EXPECT_GE(q1, 100.0);
+  EXPECT_LE(q1, 100.0 * 1.25);
+  EXPECT_LT(q1, edges.back());
+}
+
+TEST(MetricsTest, SingleSampleQuantilesStayInItsCell) {
+  LogHistogram h;
+  h.Record(100);
+  // 100 lies in octave [64, 128) split into 4 cells: [96, 112).
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    double v = h.Quantile(q);
+    EXPECT_GE(v, 96.0) << "q=" << q;
+    EXPECT_LE(v, 112.0) << "q=" << q;
+  }
+}
+
+TEST(MetricsTest, ValuesBeyondMaxOctaveSaturateAtTopEdge) {
+  LogHistogram h;
+  const auto& edges = LogHistogram::BucketEdges();
+  // 2^41 is past the 2^40 grid top: counted, summed, but bucketed as
+  // overflow, so every quantile saturates at the top edge.
+  const uint64_t huge = 1ull << 41;
+  h.Record(huge);
+  h.Record(huge);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), 2 * huge);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), edges.back());
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), edges.back());
+  std::vector<uint64_t> cells;
+  uint64_t overflow = 0;
+  h.SnapshotCells(&cells, &overflow);
+  EXPECT_EQ(overflow, 2u);
+  EXPECT_EQ(cells.size(), edges.size() - 1);
+  for (uint64_t c : cells) EXPECT_EQ(c, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON \u escape decoding (BMP, surrogate pairs, error cases)
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, UnicodeEscapeDecodesBasicMultilingualPlane) {
+  // One-, two- and three-byte UTF-8 targets: A, U+00E9, U+20AC.
+  Json j = ValueOrDie(Json::Parse(R"("A\u00e9\u20AC")"));
+  EXPECT_EQ(j.AsString(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonTest, UnicodeEscapeDecodesSurrogatePairs) {
+  // U+1F600 (grinning face), a supplementary-plane code point that
+  // needs a \ud83d\ude00 surrogate pair and a 4-byte UTF-8 encoding.
+  Json j = ValueOrDie(Json::Parse(R"("\ud83d\ude00")"));
+  EXPECT_EQ(j.AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, UnicodeEscapeRoundTripsThroughDump) {
+  // \u-escaped input decodes to UTF-8 bytes, dumps as those raw bytes
+  // (still valid JSON), and reparses equal — the round-trip contract.
+  Json original =
+      ValueOrDie(Json::Parse(R"({"k":"caf\u00e9 \uD83D\uDE80"})"));
+  Json reparsed = ValueOrDie(Json::Parse(original.Dump()));
+  EXPECT_EQ(original, reparsed);
+  EXPECT_EQ(reparsed.Find("k")->AsString(), "caf\xc3\xa9 \xf0\x9f\x9a\x80");
+}
+
+TEST(JsonTest, UnicodeEscapeRejectsLoneAndMalformedSurrogates) {
+  EXPECT_FALSE(Json::Parse(R"("\ude00")").ok());         // lone low
+  EXPECT_FALSE(Json::Parse(R"("\ud83d")").ok());         // lone high at end
+  EXPECT_FALSE(Json::Parse(R"("\ud83dx")").ok());        // high + literal
+  EXPECT_FALSE(Json::Parse(R"("\ud83dA")").ok());   // high + non-low
+  EXPECT_FALSE(Json::Parse(R"("\ud83d\ud83d")").ok());   // high + high
+}
+
+TEST(JsonTest, UnicodeEscapeRejectsBadHex) {
+  EXPECT_FALSE(Json::Parse(R"("\u12")").ok());      // too short
+  EXPECT_FALSE(Json::Parse(R"("\u12g4")").ok());    // non-hex digit
+  EXPECT_FALSE(Json::Parse(R"("\u")").ok());        // nothing at all
+}
+
+TEST(JsonTest, ControlCharactersEscapeAndRoundTrip) {
+  Json j("line1\nline2\ttab\x01");
+  std::string dumped = j.Dump();
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+  EXPECT_NE(dumped.find("\\t"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(ValueOrDie(Json::Parse(dumped)).AsString(), j.AsString());
+}
+
 }  // namespace
 }  // namespace msv::obs

@@ -42,6 +42,15 @@ Custom rules (things clang-tidy cannot express for this repo):
                          access per page where File::ReadBatch /
                          AceTree::ReadLeaves / BufferPool::GetBatch
                          coalesce the adjacent run into one.
+  msv-raw-logging        no raw stderr diagnostics (fprintf(stderr, ...),
+                         std::cerr/std::clog, perror, fputs to stderr)
+                         in src/ outside src/obs/log.cc: library code
+                         logs through MSV_LOG / obs::LogEvent so every
+                         message is leveled, rate-limited and mirrored
+                         to the JSON sink. The structured logger's own
+                         stderr emission and the CHECK-failure crash
+                         path carry `// NOLINT(msv-raw-logging)` with a
+                         justification.
   msv-raw-sync           no raw std sync primitives (std::mutex,
                          std::shared_mutex, std::lock_guard,
                          std::unique_lock, std::shared_lock,
@@ -371,6 +380,41 @@ def check_batched_io(path: Path, lines: list[str], findings: list[Finding]):
                 "seek per adjacent run instead of one per page)"))
 
 
+# --- msv-raw-logging -------------------------------------------------------
+
+# Library diagnostics must flow through MSV_LOG / obs::LogEvent (leveled,
+# rate-limited, mirrored to the JSON sink). A raw stderr write bypasses
+# all of that and is invisible to log collectors. Only the structured
+# logger itself may write stderr directly; the two sanctioned raw sites
+# (the logger's human-readable line, the CHECK crash path in
+# util/logging.cc) carry per-line NOLINTs with reasons. tools/ and
+# tests/ are out of scope — CLI output is their interface.
+RAW_LOGGING_ALLOWED = {
+    ("src", "obs", "log.cc"),
+}
+RAW_LOGGING_RE = re.compile(
+    r"(?:fprintf|fputs|fputc|fwrite)\s*\([^()]*\bstderr\b"
+    r"|\bstd\s*::\s*c(?:err|log)\b"
+    r"|(?<![\w.])perror\s*\(")
+
+
+def check_raw_logging(path: Path, lines: list[str],
+                      findings: list[Finding]):
+    rel = path.relative_to(REPO_ROOT)
+    if rel.parts[0] != "src" or rel.parts in RAW_LOGGING_ALLOWED:
+        return
+    for no, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if RAW_LOGGING_RE.search(line):
+            if is_suppressed(raw, "msv-raw-logging"):
+                continue
+            findings.append(Finding(
+                path, no, "msv-raw-logging",
+                "raw stderr logging outside src/obs/log.cc — use MSV_LOG "
+                "or obs::LogEvent so the message is leveled, rate-limited "
+                "and reaches the JSON sink"))
+
+
 # --- msv-raw-sync ----------------------------------------------------------
 
 # The only file allowed to touch std sync primitives: the capability-
@@ -486,6 +530,7 @@ def main() -> int:
         check_stats_direct(path, lines, findings)
         check_raw_seek(path, lines, findings)
         check_batched_io(path, lines, findings)
+        check_raw_logging(path, lines, findings)
         check_raw_sync(path, lines, findings)
 
     for f in findings:

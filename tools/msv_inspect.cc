@@ -10,8 +10,8 @@
 //   msv_inspect <dir> leaf <file> <n>     dump one leaf's section sizes
 //   msv_inspect <dir> histogram <file>    leaf-size histogram
 //
-// The global flag --metrics (or --metrics=json) appends a dump of the
-// process metrics registry after any command — e.g. `verify --metrics`
+// The global flag --metrics (or --metrics=json / --metrics=prom)
+// appends a dump of the process metrics registry after any command — e.g. `verify --metrics`
 // shows the per-check verify.<phase>_us durations alongside the report.
 //
 // <dir> is a host filesystem directory; <file> the ACE tree (or heap
@@ -38,8 +38,8 @@ int Usage() {
                "usage: msv_inspect <dir> stats|verify|histogram <file>\n"
                "       msv_inspect <dir> leaf <file> <leaf-number>\n"
                "       (commands may also be spelled --verify etc.;\n"
-               "        add --metrics or --metrics=json to dump the\n"
-               "        metrics registry after the command)\n");
+               "        add --metrics, --metrics=json or --metrics=prom to\n"
+               "        dump the metrics registry after the command)\n");
   return 2;
 }
 
@@ -183,7 +183,7 @@ int CmdHistogram(io::Env* env, const std::string& name) {
 int Main(int argc, char** argv) {
   // Peel off the global --metrics[=json|=text] flag wherever it appears;
   // what remains are the positional arguments.
-  enum class Metrics { kNone, kText, kJson };
+  enum class Metrics { kNone, kText, kJson, kProm };
   Metrics metrics = Metrics::kNone;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -192,6 +192,8 @@ int Main(int argc, char** argv) {
       metrics = Metrics::kText;
     } else if (arg == "--metrics=json") {
       metrics = Metrics::kJson;
+    } else if (arg == "--metrics=prom") {
+      metrics = Metrics::kProm;
     } else {
       args.push_back(std::move(arg));
     }
@@ -229,11 +231,15 @@ int Main(int argc, char** argv) {
     }
     reg.GetHistogram("io.disk.access_us");
     reg.GetHistogram("io.batch.pages_per_access");
-    obs::MetricsSnapshot snap = obs::MetricRegistry::Global().Snapshot();
-    if (metrics == Metrics::kJson) {
-      std::printf("%s\n", snap.ToJson().Dump(2).c_str());
+    if (metrics == Metrics::kProm) {
+      std::printf("%s", reg.DumpPrometheus().c_str());
     } else {
-      std::printf("%s", snap.ToText().c_str());
+      obs::MetricsSnapshot snap = reg.Snapshot();
+      if (metrics == Metrics::kJson) {
+        std::printf("%s\n", snap.ToJson().Dump(2).c_str());
+      } else {
+        std::printf("%s", snap.ToText().c_str());
+      }
     }
   }
   return rc;

@@ -1,0 +1,244 @@
+// msv_top: a live terminal view of MSV serving telemetry, in the spirit
+// of `top`. It tails the JSON-lines file a MetricsPoller exports
+// (MetricsPollerOptions::export_path) and renders per-interval rates,
+// buffer-pool hit ratio, latency quantiles and the most recent slow
+// queries, refreshing in place.
+//
+// Usage:
+//   msv_top <export-file>                live view (ANSI clear+redraw)
+//   msv_top <export-file> --once         render the latest point and exit
+//   msv_top <export-file> --interval=ms  refresh period (default 1000)
+//   msv_top <export-file> --slow=N       slow-query rows shown (default 5)
+//
+// Rates are deltas between the last two exported points divided by their
+// timestamp gap, so the view is exact regardless of the poller interval.
+// The tool is read-only: it never touches the registry of the process
+// being observed, only the exported file.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace msv {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: msv_top <export-file> [--once] [--interval=ms]"
+               " [--slow=N]\n"
+               "       <export-file> is the JSON-lines file written by a\n"
+               "       MetricsPoller with export_path set (see DESIGN.md\n"
+               "       section 12).\n");
+  return 2;
+}
+
+// One exported poller point, parsed.
+struct Point {
+  uint64_t ts_us = 0;
+  obs::Json root;  // {"ts_us", "metrics", "slow_queries"}
+};
+
+// Reads the last `want` parseable lines of the export file. The file is
+// append-only JSON lines; rereading it wholesale keeps the tool stateless
+// across refreshes (and correct across truncation/rotation).
+std::vector<Point> ReadLastPoints(const std::string& path, size_t want) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::vector<Point> points;
+  size_t first = lines.size() > want ? lines.size() - want : 0;
+  for (size_t i = first; i < lines.size(); ++i) {
+    auto parsed = obs::Json::Parse(lines[i]);
+    if (!parsed.ok()) continue;  // torn final line mid-write: skip
+    Point p;
+    p.root = std::move(parsed.value());
+    if (const obs::Json* ts = p.root.Find("ts_us")) {
+      p.ts_us = static_cast<uint64_t>(ts->AsNumber());
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+// Counter total by name, 0 when absent (family not registered yet).
+double CounterTotal(const obs::Json& point, const std::string& name) {
+  const obs::Json* metrics = point.Find("metrics");
+  if (metrics == nullptr) return 0.0;
+  const obs::Json* counters = metrics->Find("counters");
+  if (counters == nullptr) return 0.0;
+  const obs::Json* entry = counters->Find(name);
+  if (entry == nullptr) return 0.0;
+  const obs::Json* total = entry->Find("total");
+  return total != nullptr ? total->AsNumber() : 0.0;
+}
+
+double GaugeValue(const obs::Json& point, const std::string& name) {
+  const obs::Json* metrics = point.Find("metrics");
+  if (metrics == nullptr) return 0.0;
+  const obs::Json* gauges = metrics->Find("gauges");
+  if (gauges == nullptr) return 0.0;
+  const obs::Json* entry = gauges->Find(name);
+  return entry != nullptr ? entry->AsNumber() : 0.0;
+}
+
+const obs::Json* HistogramEntry(const obs::Json& point,
+                                const std::string& name) {
+  const obs::Json* metrics = point.Find("metrics");
+  if (metrics == nullptr) return nullptr;
+  const obs::Json* hists = metrics->Find("histograms");
+  if (hists == nullptr) return nullptr;
+  return hists->Find(name);
+}
+
+// Delta of a counter between two points, clamped at 0 (an epoch reset or
+// process restart can step totals backwards; a negative rate is noise).
+double Delta(const Point& prev, const Point& cur, const std::string& name) {
+  double d = CounterTotal(cur.root, name) - CounterTotal(prev.root, name);
+  return d > 0.0 ? d : 0.0;
+}
+
+void RenderRateRow(const char* label, double delta, double dt_s) {
+  std::printf("  %-22s %12.1f/s  (%+.0f)\n", label,
+              dt_s > 0 ? delta / dt_s : 0.0, delta);
+}
+
+void Render(const std::vector<Point>& points, size_t slow_rows) {
+  if (points.empty()) {
+    std::printf("msv_top: waiting for poller points...\n");
+    return;
+  }
+  const Point& cur = points.back();
+  const Point* prev = points.size() >= 2 ? &points[points.size() - 2] : nullptr;
+  double dt_s = prev != nullptr && cur.ts_us > prev->ts_us
+                    ? static_cast<double>(cur.ts_us - prev->ts_us) / 1e6
+                    : 0.0;
+
+  std::printf("msv_top  —  point @%" PRIu64 " us", cur.ts_us);
+  if (prev != nullptr) {
+    std::printf("  (interval %.2fs)", dt_s);
+  } else {
+    std::printf("  (single point; rates need two)");
+  }
+  std::printf("\n\n");
+
+  std::printf("rates (since previous point):\n");
+  if (prev != nullptr) {
+    RenderRateRow("statements", Delta(*prev, cur, "query.statements"), dt_s);
+    RenderRateRow("statement errors", Delta(*prev, cur, "query.errors"), dt_s);
+    RenderRateRow("disk reads", Delta(*prev, cur, "io.disk.reads"), dt_s);
+    double read_bytes = Delta(*prev, cur, "io.disk.read_bytes");
+    std::printf("  %-22s %12.2f MB/s\n", "disk read volume",
+                dt_s > 0 ? read_bytes / 1e6 / dt_s : 0.0);
+    RenderRateRow("pool hits", Delta(*prev, cur, "io.pool.hits"), dt_s);
+    RenderRateRow("pool misses", Delta(*prev, cur, "io.pool.misses"), dt_s);
+    double hits = Delta(*prev, cur, "io.pool.hits");
+    double misses = Delta(*prev, cur, "io.pool.misses");
+    double lookups = hits + misses;
+    std::printf("  %-22s %12.1f%%\n", "pool hit ratio",
+                lookups > 0 ? 100.0 * hits / lookups : 0.0);
+  } else {
+    std::printf("  (n/a)\n");
+  }
+
+  std::printf("\ngauges:\n");
+  std::printf("  %-22s %12.0f / %.0f pages\n", "pool resident",
+              GaugeValue(cur.root, "io.pool.resident_pages"),
+              GaugeValue(cur.root, "io.pool.capacity_pages"));
+  std::printf("  %-22s %12.1f ms\n", "sim disk clock",
+              GaugeValue(cur.root, "io.disk.clock_ms"));
+
+  std::printf("\nlatency quantiles (lifetime):\n");
+  for (const char* name : {"query.statement_us", "io.disk.access_us"}) {
+    const obs::Json* h = HistogramEntry(cur.root, name);
+    if (h == nullptr) continue;
+    const obs::Json* count = h->Find("count");
+    const obs::Json* p50 = h->Find("p50");
+    const obs::Json* p95 = h->Find("p95");
+    const obs::Json* p99 = h->Find("p99");
+    std::printf("  %-22s p50 %10.0f  p95 %10.0f  p99 %10.0f  (n=%.0f)\n",
+                name, p50 ? p50->AsNumber() : 0.0, p95 ? p95->AsNumber() : 0.0,
+                p99 ? p99->AsNumber() : 0.0, count ? count->AsNumber() : 0.0);
+  }
+
+  const obs::Json* slow = cur.root.Find("slow_queries");
+  std::printf("\nslow queries (most recent %zu):\n", slow_rows);
+  if (slow == nullptr || slow->size() == 0) {
+    std::printf("  (none recorded — arm with MSV_SLOW_QUERY_US)\n");
+    return;
+  }
+  std::printf("  %-10s %10s %10s %8s %10s %s\n", "stmt", "wall_us", "disk_us",
+              "pages", "samples", "session");
+  size_t n = slow->size();
+  size_t first = n > slow_rows ? n - slow_rows : 0;
+  for (size_t i = n; i > first; --i) {  // newest first
+    const obs::Json& rec = slow->at(i - 1);
+    const obs::Json* stmt = rec.Find("statement");
+    const obs::Json* wall = rec.Find("wall_us");
+    const obs::Json* disk = rec.Find("disk_us");
+    const obs::Json* pages = rec.Find("pages");
+    const obs::Json* samples = rec.Find("samples");
+    const obs::Json* session = rec.Find("session");
+    const obs::Json* ok = rec.Find("ok");
+    std::printf("  %-10s %10.0f %10.0f %8.0f %10.0f %s%s\n",
+                stmt ? stmt->AsString().c_str() : "?",
+                wall ? wall->AsNumber() : 0.0, disk ? disk->AsNumber() : 0.0,
+                pages ? pages->AsNumber() : 0.0,
+                samples ? samples->AsNumber() : 0.0,
+                session ? session->AsString().c_str() : "",
+                ok != nullptr && !ok->AsBool() ? "  [FAILED]" : "");
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string path;
+  bool once = false;
+  uint64_t interval_ms = 1000;
+  size_t slow_rows = 5;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg.rfind("--interval=", 0) == 0) {
+      interval_ms = std::strtoull(arg.c_str() + 11, nullptr, 10);
+      if (interval_ms == 0) interval_ms = 1000;
+    } else if (arg.rfind("--slow=", 0) == 0) {
+      slow_rows = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--help" || arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else if (path.empty()) {
+      path = std::move(arg);
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  if (once) {
+    Render(ReadLastPoints(path, 2), slow_rows);
+    return 0;
+  }
+  for (;;) {
+    std::vector<Point> points = ReadLastPoints(path, 2);
+    // ANSI clear screen + home, then redraw — classic top(1) refresh.
+    std::printf("\x1b[2J\x1b[H");
+    Render(points, slow_rows);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+}  // namespace
+}  // namespace msv
+
+int main(int argc, char** argv) { return msv::Main(argc, argv); }
