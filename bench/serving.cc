@@ -1,0 +1,422 @@
+// Serving benchmark: closed-loop load against the MSVQL TCP server.
+//
+// Starts an in-process serve::Server over an in-memory catalog (one SALE
+// table, one day-indexed sample view), then sweeps concurrent session
+// counts (default 100, 1000, 10000). Each session is one TCP connection
+// driving one request at a time (closed loop; --think-ms adds per-session
+// pacing for an open-ish load shape). The request mix exercises all three
+// query classes the server distinguishes:
+//
+//   * plain      ESTIMATE ... SAMPLES 256            (fixed work)
+//   * deadline   ESTIMATE ... WITHIN <deadline> MS   (bounded time)
+//   * bounded    ESTIMATE ... WITHIN <pct> %         (bounded error)
+//
+// Per sweep point it reports client-observed throughput, p50/p95/p99
+// latency, the overload-rejection rate (typed "overload" responses over
+// all responses) and the deadline-compliance rate: the fraction of
+// deadline-bounded estimates whose executor-measured elapsed_us stayed
+// within deadline + --slack-ms. Results go to
+// bench_results/BENCH_serving.json; --smoke=1 shrinks the sweep and
+// asserts compliance >= 99%, wiring the bound into CI.
+
+#include <poll.h>
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "io/env.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "query/executor.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace msv::bench {
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Raises RLIMIT_NOFILE towards `wanted` descriptors; returns the usable
+/// ceiling after the attempt.
+uint64_t RaiseFdLimit(uint64_t wanted) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return 1024;
+  if (lim.rlim_cur < wanted) {
+    rlimit raised = lim;
+    raised.rlim_cur = std::min<rlim_t>(wanted, lim.rlim_max);
+    if (setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return lim.rlim_cur;
+}
+
+struct Mix {
+  double deadline_fraction = 0.3;
+  double bounded_fraction = 0.2;
+  uint64_t deadline_ms = 10;
+  double within_pct = 5.0;
+};
+
+/// One load-generator connection (driver-thread local).
+struct Session {
+  std::unique_ptr<serve::Client> client;
+  serve::FrameDecoder decoder;
+  uint64_t sent_us = 0;
+  uint64_t next_send_us = 0;  ///< 0 = send immediately
+  bool outstanding = false;
+  bool is_deadline = false;
+  bool alive = true;
+};
+
+struct DriverStats {
+  std::vector<uint64_t> latencies_us;
+  uint64_t responses = 0;
+  uint64_t rejected = 0;
+  uint64_t errors = 0;
+  uint64_t deadline_total = 0;
+  uint64_t deadline_compliant = 0;
+  uint64_t dropped_sessions = 0;
+};
+
+std::string NextStatement(Pcg64* rng, const Mix& mix, Session* session) {
+  const double day_lo = static_cast<double>(rng->Below(90000));
+  const double day_hi = day_lo + 10000;
+  const double roll =
+      static_cast<double>(rng->Below(1000000)) / 1000000.0;
+  char buf[256];
+  session->is_deadline = false;
+  if (roll < mix.deadline_fraction) {
+    session->is_deadline = true;
+    std::snprintf(buf, sizeof(buf),
+                  "ESTIMATE AVG(amount) FROM sv WHERE day BETWEEN %.0f AND "
+                  "%.0f WITHIN %llu MS;",
+                  day_lo, day_hi,
+                  static_cast<unsigned long long>(mix.deadline_ms));
+  } else if (roll < mix.deadline_fraction + mix.bounded_fraction) {
+    std::snprintf(buf, sizeof(buf),
+                  "ESTIMATE AVG(amount) FROM sv WHERE day BETWEEN %.0f AND "
+                  "%.0f WITHIN %.1f%%;",
+                  day_lo, day_hi, mix.within_pct);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "ESTIMATE AVG(amount) FROM sv WHERE day BETWEEN %.0f AND "
+                  "%.0f SAMPLES 256;",
+                  day_lo, day_hi);
+  }
+  return buf;
+}
+
+void HandleResponse(const obs::Json& doc, uint64_t latency_us,
+                    uint64_t slack_us, Session* session, DriverStats* stats) {
+  stats->responses++;
+  stats->latencies_us.push_back(latency_us);
+  const obs::Json* ok = doc.Find("ok");
+  if (ok != nullptr && ok->type() == obs::Json::Type::kBool && !ok->AsBool()) {
+    std::string kind;
+    if (const obs::Json* error = doc.Find("error")) {
+      if (const obs::Json* k = error->Find("kind")) kind = k->AsString();
+    }
+    if (kind == "overload") {
+      stats->rejected++;
+    } else {
+      stats->errors++;
+    }
+    return;
+  }
+  if (session->is_deadline) {
+    stats->deadline_total++;
+    const obs::Json* estimate = doc.Find("estimate");
+    if (estimate != nullptr) {
+      const obs::Json* deadline = estimate->Find("deadline_us");
+      const obs::Json* elapsed = estimate->Find("elapsed_us");
+      if (deadline != nullptr && elapsed != nullptr &&
+          elapsed->AsNumber() <= deadline->AsNumber() +
+                                     static_cast<double>(slack_us)) {
+        stats->deadline_compliant++;
+      }
+    }
+  }
+}
+
+/// Drives `sessions` connections in one poll loop until `deadline_us`.
+void DriveSessions(std::vector<Session>* sessions, uint64_t seed,
+                   const Mix& mix, uint64_t think_us, uint64_t slack_us,
+                   uint64_t deadline_us, DriverStats* stats) {
+  Pcg64 rng(seed);
+  std::vector<pollfd> pfds;
+  std::vector<size_t> polled;
+  char buf[64 << 10];
+  while (NowUs() < deadline_us) {
+    pfds.clear();
+    polled.clear();
+    const uint64_t now = NowUs();
+    for (size_t i = 0; i < sessions->size(); ++i) {
+      Session& session = (*sessions)[i];
+      if (!session.alive) continue;
+      if (!session.outstanding &&
+          (session.next_send_us == 0 || now >= session.next_send_us)) {
+        const std::string statement = NextStatement(&rng, mix, &session);
+        session.sent_us = now;
+        if (!session.client->Send(i, statement).ok()) {
+          session.alive = false;
+          stats->dropped_sessions++;
+          continue;
+        }
+        session.outstanding = true;
+      }
+      if (session.outstanding) {
+        pfds.push_back({session.client->fd(), POLLIN, 0});
+        polled.push_back(i);
+      }
+    }
+    if (pfds.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), 50);
+    if (rc <= 0) continue;
+    for (size_t p = 0; p < polled.size(); ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Session& session = (*sessions)[polled[p]];
+      const ssize_t n = ::read(session.client->fd(), buf, sizeof(buf));
+      if (n <= 0) {
+        session.alive = false;
+        stats->dropped_sessions++;
+        continue;
+      }
+      session.decoder.Feed(buf, static_cast<size_t>(n));
+      std::string payload;
+      while (session.decoder.Next(&payload) ==
+             serve::FrameDecoder::Outcome::kFrame) {
+        auto doc = obs::Json::Parse(payload);
+        if (doc.ok()) {
+          HandleResponse(*doc, NowUs() - session.sent_us, slack_us, &session,
+                         stats);
+        }
+        session.outstanding = false;
+        session.next_send_us = think_us == 0 ? 0 : NowUs() + think_us;
+      }
+    }
+  }
+}
+
+double PercentileUs(std::vector<uint64_t>* latencies, double p) {
+  if (latencies->empty()) return 0.0;
+  const size_t index = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(p / 100.0 * static_cast<double>(latencies->size())));
+  std::nth_element(latencies->begin(),
+                   latencies->begin() + static_cast<ptrdiff_t>(index),
+                   latencies->end());
+  return static_cast<double>((*latencies)[index]);
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv, {{"rows", "200000"},
+                           {"sessions", "100,1000,10000"},
+                           {"duration-s", "10"},
+                           {"workers", "0"},
+                           {"queue", "256"},
+                           {"drivers", "0"},
+                           {"deadline-ms", "10"},
+                           {"within-pct", "5"},
+                           {"slack-ms", "100"},
+                           {"think-ms", "0"},
+                           {"seed", "42"},
+                           {"smoke", "0"}});
+  const bool smoke = flags.GetInt("smoke") != 0;
+  // Worker/driver defaults track the hardware: oversubscribing a small
+  // box turns scheduler preemption into apparent deadline overrun (the
+  // --slack-ms allowance covers the residual jitter).
+  const uint64_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const uint64_t workers =
+      flags.GetInt("workers") != 0 ? flags.GetInt("workers") : std::max<uint64_t>(2, hw);
+  const uint64_t driver_default = smoke ? 2 : std::max<uint64_t>(2, hw);
+  const uint64_t drivers_flag =
+      flags.GetInt("drivers") != 0 ? flags.GetInt("drivers") : driver_default;
+  const uint64_t rows = smoke ? 50'000 : flags.GetInt("rows");
+  const double duration_s =
+      smoke ? 2.0 : static_cast<double>(flags.GetInt("duration-s"));
+
+  std::vector<uint64_t> sweep;
+  {
+    const std::string spec =
+        smoke ? "64,256" : flags.GetString("sessions");
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      sweep.push_back(std::strtoull(spec.substr(pos, comma - pos).c_str(),
+                                    nullptr, 10));
+      pos = comma + 1;
+    }
+  }
+
+  Mix mix;
+  mix.deadline_ms = flags.GetInt("deadline-ms");
+  mix.within_pct = flags.GetDouble("within-pct");
+  const uint64_t slack_us = flags.GetInt("slack-ms") * 1000;
+  const uint64_t think_us = flags.GetInt("think-ms") * 1000;
+  const uint64_t seed = flags.GetInt("seed");
+
+  const uint64_t max_sessions =
+      *std::max_element(sweep.begin(), sweep.end());
+  const uint64_t fd_limit = RaiseFdLimit(2 * max_sessions + 512);
+  for (uint64_t& s : sweep) {
+    if (2 * s + 256 > fd_limit) {
+      const uint64_t clamped = (fd_limit - 256) / 2;
+      std::printf("serving: fd limit %llu clamps %llu sessions to %llu\n",
+                  static_cast<unsigned long long>(fd_limit),
+                  static_cast<unsigned long long>(s),
+                  static_cast<unsigned long long>(clamped));
+      s = clamped;
+    }
+  }
+
+  // Server over an in-memory catalog.
+  auto env = io::NewMemEnv();
+  auto executor = query::Executor::Open(env.get());
+  MSV_CHECK_MSG(executor.ok(), "executor open failed");
+  auto bootstrap = (*executor)->Run(
+      "GENERATE TABLE sale ROWS " + std::to_string(rows) +
+      " SEED " + std::to_string(seed) +
+      "; CREATE MATERIALIZED SAMPLE VIEW sv AS SELECT * FROM sale INDEX ON "
+      "day;");
+  MSV_CHECK_MSG(bootstrap.ok(), "bootstrap failed");
+
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = static_cast<int>(workers);
+  server_options.max_queue = flags.GetInt("queue");
+  serve::Server server(executor->get(), server_options);
+  MSV_CHECK_MSG(server.Start().ok(), "server start failed");
+
+  obs::Json points = obs::Json::Array();
+  std::vector<std::vector<double>> table;
+
+  for (uint64_t session_count : sweep) {
+    const uint64_t drivers =
+        std::min<uint64_t>(drivers_flag, session_count);
+    std::vector<std::vector<Session>> per_driver(drivers);
+    uint64_t connected = 0;
+    for (uint64_t i = 0; i < session_count; ++i) {
+      auto client = serve::Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) break;  // fd exhaustion: drive what we have
+      Session session;
+      session.client = std::move(*client);
+      per_driver[i % drivers].push_back(std::move(session));
+      ++connected;
+    }
+    if (connected < session_count) {
+      std::printf("serving: connected %llu of %llu sessions\n",
+                  static_cast<unsigned long long>(connected),
+                  static_cast<unsigned long long>(session_count));
+    }
+
+    std::vector<DriverStats> stats(drivers);
+    const uint64_t start_us = NowUs();
+    const uint64_t deadline_us =
+        start_us + static_cast<uint64_t>(duration_s * 1e6);
+    std::vector<std::thread> threads;
+    threads.reserve(drivers);
+    for (uint64_t d = 0; d < drivers; ++d) {
+      threads.emplace_back([&, d] {
+        DriveSessions(&per_driver[d], seed + d, mix, think_us, slack_us,
+                      deadline_us, &stats[d]);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double elapsed_s =
+        static_cast<double>(NowUs() - start_us) / 1e6;
+    per_driver.clear();  // closes this sweep point's connections
+
+    DriverStats total;
+    for (auto& s : stats) {
+      total.responses += s.responses;
+      total.rejected += s.rejected;
+      total.errors += s.errors;
+      total.deadline_total += s.deadline_total;
+      total.deadline_compliant += s.deadline_compliant;
+      total.dropped_sessions += s.dropped_sessions;
+      total.latencies_us.insert(total.latencies_us.end(),
+                                s.latencies_us.begin(), s.latencies_us.end());
+    }
+    const double throughput =
+        elapsed_s > 0 ? static_cast<double>(total.responses) / elapsed_s : 0;
+    const double p50 = PercentileUs(&total.latencies_us, 50);
+    const double p95 = PercentileUs(&total.latencies_us, 95);
+    const double p99 = PercentileUs(&total.latencies_us, 99);
+    const double rejection_rate =
+        total.responses > 0
+            ? static_cast<double>(total.rejected) /
+                  static_cast<double>(total.responses)
+            : 0;
+    const double compliance =
+        total.deadline_total > 0
+            ? static_cast<double>(total.deadline_compliant) /
+                  static_cast<double>(total.deadline_total)
+            : 1.0;
+
+    obs::Json point = obs::Json::Object();
+    point["sessions"] = connected;
+    point["duration_s"] = elapsed_s;
+    point["responses"] = total.responses;
+    point["throughput_rps"] = throughput;
+    point["p50_us"] = p50;
+    point["p95_us"] = p95;
+    point["p99_us"] = p99;
+    point["rejected"] = total.rejected;
+    point["rejection_rate"] = rejection_rate;
+    point["exec_errors"] = total.errors;
+    point["deadline_total"] = total.deadline_total;
+    point["deadline_compliant"] = total.deadline_compliant;
+    point["deadline_compliance"] = compliance;
+    point["dropped_sessions"] = total.dropped_sessions;
+    points.Append(std::move(point));
+    table.push_back({static_cast<double>(connected), throughput, p50, p95,
+                     p99, rejection_rate, compliance});
+
+    if (smoke && total.deadline_total > 0) {
+      MSV_CHECK_MSG(compliance >= 0.99,
+                    "deadline compliance below 99% in smoke run");
+    }
+  }
+
+  server.Stop();
+
+  PrintTable("serving (closed-loop, " + std::to_string(duration_s) +
+                 "s per point)",
+             {"sessions", "rps", "p50_us", "p95_us", "p99_us", "rej_rate",
+              "ddl_comp"},
+             table);
+
+  obs::Json numbers = obs::Json::Object();
+  numbers["rows"] = rows;
+  numbers["deadline_ms"] = mix.deadline_ms;
+  numbers["within_pct"] = mix.within_pct;
+  numbers["slack_us"] = slack_us;
+  numbers["smoke"] = smoke;
+  numbers["points"] = std::move(points);
+  WriteBenchJson("serving", numbers);
+  return 0;
+}
+
+}  // namespace msv::bench
+
+int main(int argc, char** argv) { return msv::bench::Run(argc, argv); }

@@ -187,14 +187,28 @@ class SlowQueryLog {
 };
 
 /// Thread-local per-statement statistics scratchpad (see file comment).
+/// The estimate block is filled by the executor's ESTIMATE path so the
+/// serving layer can surface a structured result (value, achieved CI,
+/// partiality under a WITHIN deadline) without parsing the text output.
 struct StatementLedger {
   uint64_t samples = 0;
   double ci_half_width = 0.0;
 
-  void Reset() {
-    samples = 0;
-    ci_half_width = 0.0;
-  }
+  /// True when the statement produced a point estimate (the fields below
+  /// are meaningful).
+  bool has_estimate = false;
+  double estimate_value = 0.0;
+  double confidence = 0.0;
+  /// WITHIN targets as parsed (0 = clause absent) ...
+  double target_rel_pct = 0.0;
+  uint64_t deadline_us = 0;
+  /// ... and what happened: budget consumed (wall + modeled disk µs) and
+  /// whether a deadline fired before the stream or the error bound was
+  /// done (the estimate is then partial: valid CI, wider than asked).
+  uint64_t elapsed_us = 0;
+  bool is_partial = false;
+
+  void Reset() { *this = StatementLedger(); }
 };
 
 StatementLedger& ThreadStatementLedger();

@@ -39,7 +39,8 @@ struct SampleStmt {
 };
 
 /// ESTIMATE AVG(col) | SUM(col) | COUNT(*) FROM v [WHERE preds]
-///   [SAMPLES n] [CONFIDENCE p];
+///   [GROUP BY c] [SAMPLES n] [CONFIDENCE p]
+///   [WITHIN e%] [WITHIN t MS];
 struct EstimateStmt {
   enum class Agg { kAvg, kSum, kCount };
   Agg agg = Agg::kAvg;
@@ -49,7 +50,18 @@ struct EstimateStmt {
   /// Optional GROUP BY column (integer-typed); empty = no grouping.
   std::string group_by;
   uint64_t samples = 1000;
+  /// True when SAMPLES was written explicitly. A WITHIN clause lifts the
+  /// default cap (the bound decides when to stop), but an explicit
+  /// SAMPLES n stays a hard cap alongside the bound.
+  bool samples_set = false;
   double confidence = 0.95;
+  /// WITHIN <pct>%: error-bounded mode — sampling stops once the CI
+  /// half-width is within pct percent of the point estimate. 0 = unset.
+  double within_pct = 0.0;
+  /// WITHIN <t> MS: time-bounded mode — sampling stops at the deadline
+  /// (wall clock + modeled disk µs) and the result is tagged partial if
+  /// the stream was not exhausted. 0 = unset.
+  uint64_t within_ms = 0;
 };
 
 /// INSERT INTO v ROWS n [SEED s];  (generated rows appended to the delta)

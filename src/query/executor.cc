@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "io/buffer_pool.h"
@@ -16,6 +17,7 @@
 #include "relation/sale_generator.h"
 #include "sampling/grouped_aggregator.h"
 #include "sampling/online_aggregator.h"
+#include "sampling/stopping_rule.h"
 #include "storage/heap_file.h"
 #include "util/random.h"
 
@@ -154,6 +156,9 @@ Result<std::string> Executor::ExecuteLocked(const Statement& statement) {
   obs::Span span =
       obs::StartTraceSpan(std::string("query.") + StatementName(statement));
   c_statements_->Add();
+  // The ledger is reset unconditionally: the serving layer reads the
+  // estimate block after every statement, armed or not.
+  obs::ThreadStatementLedger().Reset();
   obs::SlowQueryLog& slow = obs::SlowQueryLog::Global();
   if (!slow.armed()) {
     // Disarmed fast path: one relaxed load above, no clock reads.
@@ -161,7 +166,6 @@ Result<std::string> Executor::ExecuteLocked(const Statement& statement) {
     if (!result.ok()) c_errors_->Add();
     return result;
   }
-  obs::ThreadStatementLedger().Reset();
   const uint64_t disk_before = io::ThreadDiskBusyUs();
   const uint64_t pages_before = io::ThreadPoolPages();
   const auto start = std::chrono::steady_clock::now();
@@ -420,6 +424,29 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
     }
   }
 
+  const bool bounded = stmt.within_pct > 0.0 || stmt.within_ms > 0;
+  if (stmt.within_pct > 0.0 && !stmt.group_by.empty()) {
+    return Status::NotSupported(
+        "WITHIN % with GROUP BY is not supported (no single interval to "
+        "bound); use a WITHIN ... MS deadline instead");
+  }
+  // The WITHIN budget starts before the first I/O: it covers sampling,
+  // not planning. Wall clock plus this thread's modeled-disk delta.
+  const uint64_t disk_before = io::ThreadDiskBusyUs();
+  sampling::StoppingRule::Options rule_options;
+  rule_options.rel_error_pct = stmt.within_pct;
+  rule_options.deadline_us = stmt.within_ms * 1000;
+  rule_options.extra_elapsed_us = [disk_before] {
+    return io::ThreadDiskBusyUs() - disk_before;
+  };
+  const sampling::StoppingRule rule(rule_options);
+  // An explicit SAMPLES n stays a hard cap; the historical default cap
+  // of 1000 is lifted when a WITHIN bound decides when to stop.
+  uint64_t target = stmt.samples;
+  if (bounded && !stmt.samples_set) {
+    target = std::numeric_limits<uint64_t>::max();
+  }
+
   // Population of the predicate from the tree's internal-node counts,
   // plus the matching delta records.
   MSV_ASSIGN_OR_RETURN(uint64_t base_population,
@@ -443,9 +470,15 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
           return column != nullptr ? schema.Value(rec, *column) : 1.0;
         },
         base_population, stmt.confidence);
-    while (!sampler->done() && agg.samples_seen() < stmt.samples) {
+    bool deadline_hit = false;
+    while (!sampler->done() && agg.samples_seen() < target) {
       MSV_ASSIGN_OR_RETURN(sampling::SampleBatch batch, sampler->NextBatch());
       agg.Consume(batch);
+      if (rule.active() && rule.Check(sampling::Estimate{}) ==
+                               sampling::StoppingRule::Verdict::kDeadlineHit) {
+        deadline_hit = true;
+        break;
+      }
     }
     auto groups = agg.Groups();
     std::ostringstream out;
@@ -474,7 +507,17 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
     }
     out << "(" << groups.size() << " groups, " << agg.samples_seen()
         << " samples total)\n";
-    obs::ThreadStatementLedger().samples = agg.samples_seen();
+    obs::StatementLedger& ledger = obs::ThreadStatementLedger();
+    ledger.samples = agg.samples_seen();
+    if (bounded) {
+      ledger.deadline_us = stmt.within_ms * 1000;
+      ledger.elapsed_us = rule.ElapsedUs();
+      ledger.is_partial = deadline_hit && !sampler->done();
+      if (ledger.is_partial) {
+        out << "bound: deadline " << stmt.within_ms << " ms hit after "
+            << agg.samples_seen() << " samples (partial)\n";
+      }
+    }
     return out.str();
   }
 
@@ -483,6 +526,15 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
     out << "COUNT(*) ~ " << base_population
         << " (from index counts; delta adds <= " << view->delta_records()
         << ")\n";
+    // COUNT(*) is answered from the index counts without sampling: any
+    // WITHIN bound is trivially met and the result is never partial.
+    obs::StatementLedger& ledger = obs::ThreadStatementLedger();
+    ledger.has_estimate = true;
+    ledger.estimate_value = static_cast<double>(base_population);
+    ledger.confidence = stmt.confidence;
+    ledger.target_rel_pct = stmt.within_pct;
+    ledger.deadline_us = stmt.within_ms * 1000;
+    if (bounded) ledger.elapsed_us = rule.ElapsedUs();
     return out.str();
   }
 
@@ -491,29 +543,58 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
         return schema.Value(rec, *column);
       },
       base_population, stmt.confidence);
-  while (!sampler->done() && agg.samples_seen() < stmt.samples) {
+  // The stopping rule is checked once per batch: a deadline can overshoot
+  // by at most one batch's cost, an error bound by one batch of samples.
+  auto verdict = sampling::StoppingRule::Verdict::kContinue;
+  while (!sampler->done() && agg.samples_seen() < target) {
     MSV_ASSIGN_OR_RETURN(sampling::SampleBatch batch, sampler->NextBatch());
     agg.Consume(batch);
+    if (rule.active()) {
+      verdict = rule.Check(stmt.agg == EstimateStmt::Agg::kAvg ? agg.Avg()
+                                                               : agg.Sum());
+      if (verdict != sampling::StoppingRule::Verdict::kContinue) break;
+    }
   }
 
   std::ostringstream out;
   obs::StatementLedger& ledger = obs::ThreadStatementLedger();
-  if (stmt.agg == EstimateStmt::Agg::kAvg) {
-    auto e = agg.Avg();
-    out << "AVG(" << stmt.column << ") = " << FormatDouble(e.value) << " +/- "
-        << FormatDouble(e.half_width) << " ("
-        << static_cast<int>(stmt.confidence * 100) << "% CI, " << e.samples
-        << " samples)\n";
-    ledger.ci_half_width = e.half_width;
-  } else {
-    auto e = agg.Sum();
-    out << "SUM(" << stmt.column << ") = " << FormatDouble(e.value) << " +/- "
-        << FormatDouble(e.half_width) << " ("
-        << static_cast<int>(stmt.confidence * 100) << "% CI, " << e.samples
-        << " samples)\n";
-    ledger.ci_half_width = e.half_width;
-  }
+  sampling::Estimate e =
+      stmt.agg == EstimateStmt::Agg::kAvg ? agg.Avg() : agg.Sum();
+  out << (stmt.agg == EstimateStmt::Agg::kAvg ? "AVG(" : "SUM(")
+      << stmt.column << ") = " << FormatDouble(e.value) << " +/- "
+      << FormatDouble(e.half_width) << " ("
+      << static_cast<int>(stmt.confidence * 100) << "% CI, " << e.samples
+      << " samples)\n";
+  ledger.ci_half_width = e.half_width;
   ledger.samples = agg.samples_seen();
+  ledger.has_estimate = true;
+  ledger.estimate_value = e.value;
+  ledger.confidence = stmt.confidence;
+  if (bounded) {
+    ledger.target_rel_pct = stmt.within_pct;
+    ledger.deadline_us = stmt.within_ms * 1000;
+    ledger.elapsed_us = rule.ElapsedUs();
+    // A deadline stop with samples still in the stream is a partial
+    // result: the CI is valid over what was consumed, just wider than an
+    // uninterrupted run would have reached.
+    ledger.is_partial =
+        verdict == sampling::StoppingRule::Verdict::kDeadlineHit &&
+        !sampler->done();
+    const double achieved_pct =
+        e.value != 0.0 ? 100.0 * e.half_width / std::fabs(e.value) : 0.0;
+    if (ledger.is_partial) {
+      out << "bound: deadline " << stmt.within_ms << " ms hit after "
+          << e.samples << " samples (partial, achieved +/- "
+          << FormatDouble(achieved_pct) << "%)\n";
+    } else if (verdict == sampling::StoppingRule::Verdict::kErrorBoundMet) {
+      out << "bound: within " << FormatDouble(stmt.within_pct)
+          << "% met after " << e.samples << " samples (achieved +/- "
+          << FormatDouble(achieved_pct) << "%)\n";
+    } else {
+      out << "bound: stream complete after " << e.samples
+          << " samples (exact answer)\n";
+    }
+  }
   return out.str();
 }
 

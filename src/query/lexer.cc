@@ -15,7 +15,7 @@ const std::set<std::string>& Keywords() {
       "LIMIT",  "ESTIMATE",     "AVG",      "SUM",     "COUNT",   "SAMPLES",
       "INSERT", "INTO",         "ROWS",     "SEED",    "REBUILD", "DROP",
       "SHOW",   "VIEWS",        "GENERATE", "TABLE",   "TABLES",  "CONFIDENCE",
-      "GROUP",  "BY",           "EXPLAIN",  "ANALYZE",
+      "GROUP",  "BY",           "EXPLAIN",  "ANALYZE", "WITHIN",  "MS",
   };
   return kKeywords;
 }
@@ -72,7 +72,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       token.text = input.substr(i, static_cast<size_t>(end - input.c_str()) - i);
       i = static_cast<size_t>(end - input.c_str());
     } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' ||
-               c == '=') {
+               c == '=' || c == '%') {
       token.type = TokenType::kSymbol;
       token.text = std::string(1, c);
       ++i;

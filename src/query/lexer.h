@@ -16,7 +16,7 @@ enum class TokenType {
   kIdentifier,  // table / view / column names (case-preserved)
   kKeyword,     // upper-cased reserved word
   kNumber,      // double literal
-  kSymbol,      // one of ( ) , ; * =
+  kSymbol,      // one of ( ) , ; * = %
   kEnd,
 };
 

@@ -197,12 +197,43 @@ class ParserImpl {
     if (Peek().IsKeyword("SAMPLES")) {
       Advance();
       MSV_ASSIGN_OR_RETURN(stmt.samples, ExpectCount("sample count"));
+      stmt.samples_set = true;
     }
     if (Peek().IsKeyword("CONFIDENCE")) {
       Advance();
       MSV_ASSIGN_OR_RETURN(stmt.confidence, ExpectNumber("confidence"));
       if (stmt.confidence <= 0 || stmt.confidence >= 1) {
         return Status::InvalidArgument("confidence must be in (0, 1)");
+      }
+    }
+    // WITHIN <pct>% (error bound) and/or WITHIN <t> MS (deadline); both
+    // may appear, in either order — whichever fires first stops sampling.
+    while (Peek().IsKeyword("WITHIN")) {
+      Advance();
+      MSV_ASSIGN_OR_RETURN(double bound, ExpectNumber("WITHIN bound"));
+      if (Peek().IsSymbol('%')) {
+        Advance();
+        if (bound <= 0 || bound >= 100) {
+          return Status::InvalidArgument(
+              "WITHIN error bound must be in (0, 100) percent");
+        }
+        if (stmt.within_pct != 0) {
+          return Error("duplicate WITHIN % clause");
+        }
+        stmt.within_pct = bound;
+      } else if (Peek().IsKeyword("MS")) {
+        Advance();
+        if (bound <= 0 || bound != static_cast<double>(
+                                       static_cast<uint64_t>(bound))) {
+          return Status::InvalidArgument(
+              "WITHIN deadline must be a positive integer of milliseconds");
+        }
+        if (stmt.within_ms != 0) {
+          return Error("duplicate WITHIN ... MS clause");
+        }
+        stmt.within_ms = static_cast<uint64_t>(bound);
+      } else {
+        return Error("expected '%' or MS after WITHIN bound");
       }
     }
     return Statement(stmt);

@@ -1,0 +1,131 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace msv::serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port,
+                                                uint64_t timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status Client::SendBytes(const void* data, size_t n) {
+  if (fd_ < 0) return Status::InvalidArgument("client closed");
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status Client::Send(uint64_t id, const std::string& statement) {
+  obs::Json doc = obs::Json::Object();
+  doc["id"] = id;
+  doc["statement"] = statement;
+  const std::string frame = EncodeFrame(doc.Dump());
+  return SendBytes(frame.data(), frame.size());
+}
+
+Result<obs::Json> Client::Read(uint64_t timeout_ms) {
+  if (fd_ < 0) return Status::InvalidArgument("client closed");
+  std::string payload;
+  for (;;) {
+    const auto outcome = decoder_.Next(&payload);
+    if (outcome == FrameDecoder::Outcome::kFrame) {
+      auto doc = obs::Json::Parse(payload);
+      if (!doc.ok()) {
+        return Status::Corruption("bad response JSON: " +
+                                  std::string(doc.status().message()));
+      }
+      return *doc;
+    }
+    if (outcome == FrameDecoder::Outcome::kTooLarge) {
+      return Status::Corruption("oversized response frame");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) return Status::IOError("response timeout");
+    char buf[64 << 10];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) return Status::IOError("server closed connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Errno("read");
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<obs::Json> Client::Call(const std::string& statement,
+                               uint64_t timeout_ms) {
+  MSV_RETURN_IF_ERROR(Send(next_id_++, statement));
+  MSV_ASSIGN_OR_RETURN(obs::Json doc, Read(timeout_ms));
+  const obs::Json* ok = doc.Find("ok");
+  if (ok != nullptr && ok->type() == obs::Json::Type::kBool && !ok->AsBool()) {
+    std::string kind = "unknown";
+    std::string message;
+    if (const obs::Json* error = doc.Find("error")) {
+      if (const obs::Json* k = error->Find("kind")) kind = k->AsString();
+      if (const obs::Json* m = error->Find("message")) message = m->AsString();
+    }
+    return Status::InvalidArgument(kind + ": " + message);
+  }
+  return doc;
+}
+
+}  // namespace msv::serve

@@ -1,0 +1,57 @@
+// Blocking client for the MSVQL wire protocol — used by tools/msv_serve's
+// --query mode, the serving bench drivers and the protocol tests. One
+// Client is one TCP connection; it is not thread-safe (drive one client
+// per thread, or many clients from one poll loop via fd()).
+
+#ifndef MSV_SERVE_CLIENT_H_
+#define MSV_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+#include "util/result.h"
+
+namespace msv::serve {
+
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 int port,
+                                                 uint64_t timeout_ms = 5000);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request frame.
+  Status Send(uint64_t id, const std::string& statement);
+
+  /// Blocks (bounded by timeout_ms) for the next response frame.
+  Result<obs::Json> Read(uint64_t timeout_ms = 30000);
+
+  /// Send + Read. Execution/parse/overload failures surface as error
+  /// Status with the typed kind prefixed ("exec: ...", "overload: ...");
+  /// the full response document is available via Read for callers that
+  /// need the estimate block.
+  Result<obs::Json> Call(const std::string& statement,
+                         uint64_t timeout_ms = 30000);
+
+  /// Raw escape hatches for the robustness tests.
+  Status SendBytes(const void* data, size_t n);
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace msv::serve
+
+#endif  // MSV_SERVE_CLIENT_H_

@@ -83,6 +83,16 @@ double CounterTotal(const obs::Json& point, const std::string& name) {
   return total != nullptr ? total->AsNumber() : 0.0;
 }
 
+// True when the counter family has been registered at all — used to
+// show the serving section only for processes that run a msv_serve
+// front end.
+bool HasCounter(const obs::Json& point, const std::string& name) {
+  const obs::Json* metrics = point.Find("metrics");
+  if (metrics == nullptr) return false;
+  const obs::Json* counters = metrics->Find("counters");
+  return counters != nullptr && counters->Find(name) != nullptr;
+}
+
 double GaugeValue(const obs::Json& point, const std::string& name) {
   const obs::Json* metrics = point.Find("metrics");
   if (metrics == nullptr) return 0.0;
@@ -158,8 +168,28 @@ void Render(const std::vector<Point>& points, size_t slow_rows) {
   std::printf("  %-22s %12.1f ms\n", "sim disk clock",
               GaugeValue(cur.root, "io.disk.clock_ms"));
 
+  if (HasCounter(cur.root, "serve.requests")) {
+    std::printf("\nserving:\n");
+    std::printf("  %-22s %12.0f\n", "active connections",
+                GaugeValue(cur.root, "serve.connections_active"));
+    std::printf("  %-22s %12.0f\n", "admission queue depth",
+                GaugeValue(cur.root, "serve.queue_depth"));
+    if (prev != nullptr) {
+      double requests = Delta(*prev, cur, "serve.requests");
+      double rejected = Delta(*prev, cur, "serve.rejected_overload");
+      RenderRateRow("requests", requests, dt_s);
+      RenderRateRow("responses", Delta(*prev, cur, "serve.responses"), dt_s);
+      RenderRateRow("overload rejections", rejected, dt_s);
+      std::printf("  %-22s %12.1f%%\n", "rejection rate",
+                  requests > 0 ? 100.0 * rejected / requests : 0.0);
+      RenderRateRow("dropped connections",
+                    Delta(*prev, cur, "serve.connections_dropped"), dt_s);
+    }
+  }
+
   std::printf("\nlatency quantiles (lifetime):\n");
-  for (const char* name : {"query.statement_us", "io.disk.access_us"}) {
+  for (const char* name :
+       {"query.statement_us", "io.disk.access_us", "serve.request_us"}) {
     const obs::Json* h = HistogramEntry(cur.root, name);
     if (h == nullptr) continue;
     const obs::Json* count = h->Find("count");
