@@ -1,0 +1,215 @@
+#include "core/ingest.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "storage/heap_file.h"
+#include "util/crc32c.h"
+
+namespace msv::core {
+
+// ---------------------------------------------------------------------------
+// Memtable
+// ---------------------------------------------------------------------------
+
+void Memtable::Append(const char* records, size_t count) {
+  data_.append(records, count * record_size_);
+  count_ += count;
+}
+
+void Memtable::CollectMatches(const storage::RecordLayout& layout,
+                              const sampling::RangeQuery& query,
+                              std::vector<std::string>* out) const {
+  for (uint64_t i = 0; i < count_; ++i) {
+    const char* rec = record(i);
+    if (query.Matches(layout, rec)) {
+      out->emplace_back(rec, record_size_);
+    }
+  }
+}
+
+std::vector<const char*> Memtable::SortedRecords(
+    const storage::RecordLayout& layout) const {
+  std::vector<const char*> recs;
+  recs.reserve(count_);
+  for (uint64_t i = 0; i < count_; ++i) recs.push_back(record(i));
+  std::stable_sort(recs.begin(), recs.end(),
+                   [&layout](const char* a, const char* b) {
+                     return layout.Key(a, 0) < layout.Key(b, 0);
+                   });
+  return recs;
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter / ReadWal
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(io::Env* env,
+                                                   const std::string& name,
+                                                   bool sync_each_append) {
+  MSV_ASSIGN_OR_RETURN(bool existed, env->FileExists(name));
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
+                       env->OpenFile(name, /*create=*/true));
+  MSV_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (!existed) {
+    // The empty WAL's directory entry must survive a crash, or replay
+    // would miss the memtable entirely while the manifest already names
+    // its id as live.
+    MSV_RETURN_IF_ERROR(env->SyncDir());
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), size, sync_each_append));
+}
+
+Status WalWriter::Append(const char* records, size_t record_size,
+                         size_t count) {
+  const size_t n = record_size * count;
+  MSV_RETURN_IF_ERROR(file_->Write(offset_, records, n));
+  if (sync_) {
+    MSV_RETURN_IF_ERROR(file_->Sync());
+  }
+  offset_ += n;
+  return Status::OK();
+}
+
+Result<std::string> ReadWal(io::Env* env, const std::string& name,
+                            size_t record_size) {
+  MSV_ASSIGN_OR_RETURN(bool exists, env->FileExists(name));
+  if (!exists) return std::string();
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
+                       env->OpenFile(name, /*create=*/false));
+  MSV_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  const uint64_t whole = (size / record_size) * record_size;
+  std::string data(whole, '\0');
+  if (whole > 0) {
+    MSV_RETURN_IF_ERROR(file->ReadExact(0, whole, data.data()));
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kManifestMagic[] = "msview1";
+
+std::string ManifestPayload(const ViewManifest& m) {
+  std::ostringstream out;
+  out << "base " << m.base_file << "\n";
+  out << "next " << m.next_id << "\n";
+  out << "flushed " << m.flushed_through << "\n";
+  for (uint64_t id : m.runs) out << "run " << id << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+Status SaveManifest(io::Env* env, const std::string& file,
+                    const ViewManifest& manifest) {
+  const std::string payload = ManifestPayload(manifest);
+  const uint32_t crc =
+      MaskCrc(Crc32c(payload.data(), payload.size()));
+  std::ostringstream out;
+  out << kManifestMagic << " " << crc << "\n" << payload;
+  const std::string contents = out.str();
+
+  // Atomic replace (the Catalog::Save protocol): a crash mid-save leaves
+  // the previous manifest — and with it the previous file set — intact.
+  const std::string tmp_name = file + ".tmp";
+  auto write_tmp = [&]() -> Status {
+    MSV_ASSIGN_OR_RETURN(std::unique_ptr<io::File> f,
+                         env->OpenFile(tmp_name, /*create=*/true));
+    MSV_RETURN_IF_ERROR(f->Truncate(0));
+    MSV_RETURN_IF_ERROR(f->Write(0, contents.data(), contents.size()));
+    return f->Sync();
+  };
+  Status st = write_tmp();
+  if (!st.ok()) {
+    env->DeleteFile(tmp_name).IgnoreError();  // best-effort scratch cleanup
+    return st;
+  }
+  MSV_RETURN_IF_ERROR(env->RenameFile(tmp_name, file));
+  return env->SyncDir();
+}
+
+Result<ViewManifest> LoadManifest(io::Env* env, const std::string& file) {
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<io::File> f,
+                       env->OpenFile(file, /*create=*/false));
+  MSV_ASSIGN_OR_RETURN(uint64_t size, f->Size());
+  std::string contents(size, '\0');
+  MSV_RETURN_IF_ERROR(f->ReadExact(0, size, contents.data()));
+
+  const size_t eol = contents.find('\n');
+  if (eol == std::string::npos) {
+    return Status::Corruption("view manifest: missing header line");
+  }
+  std::istringstream header(contents.substr(0, eol));
+  std::string magic;
+  uint32_t stored_crc = 0;
+  header >> magic >> stored_crc;
+  if (magic != kManifestMagic) {
+    return Status::Corruption("view manifest: bad magic '" + magic + "'");
+  }
+  const std::string payload = contents.substr(eol + 1);
+  const uint32_t actual =
+      MaskCrc(Crc32c(payload.data(), payload.size()));
+  if (actual != stored_crc) {
+    return Status::Corruption("view manifest: checksum mismatch");
+  }
+
+  ViewManifest m;
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "base") {
+      fields >> m.base_file;
+    } else if (kind == "next") {
+      fields >> m.next_id;
+    } else if (kind == "flushed") {
+      fields >> m.flushed_through;
+    } else if (kind == "run") {
+      uint64_t id = 0;
+      fields >> id;
+      m.runs.push_back(id);
+    } else {
+      return Status::Corruption("view manifest: bad line '" + line + "'");
+    }
+  }
+  if (m.base_file.empty()) {
+    return Status::Corruption("view manifest: no base file");
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// WriteRunFile
+// ---------------------------------------------------------------------------
+
+Status WriteRunFile(io::Env* env, const std::string& file, size_t record_size,
+                    const std::vector<const char*>& records) {
+  const std::string tmp_name = file + ".tmp";
+  auto write_tmp = [&]() -> Status {
+    MSV_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::HeapFileWriter> writer,
+        storage::HeapFileWriter::Create(env, tmp_name, record_size));
+    for (const char* rec : records) {
+      MSV_RETURN_IF_ERROR(writer->Append(rec));
+    }
+    return writer->Finish();  // flushes and syncs the file
+  };
+  Status st = write_tmp();
+  if (!st.ok()) {
+    env->DeleteFile(tmp_name).IgnoreError();  // best-effort scratch cleanup
+    return st;
+  }
+  MSV_RETURN_IF_ERROR(env->RenameFile(tmp_name, file));
+  return env->SyncDir();
+}
+
+}  // namespace msv::core

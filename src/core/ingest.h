@@ -1,0 +1,147 @@
+// Ingest primitives for the updatable sample view's LSM-style write path.
+//
+// A MaterializedSampleView absorbs Insert() into an in-memory Memtable
+// whose records are made durable by a write-ahead log (WalWriter). When
+// the memtable reaches its size threshold it is flushed to an immutable
+// sorted run (WriteRunFile — the crash-atomic tmp + Sync + rename +
+// SyncDir protocol), and a background compaction folds runs into a fresh
+// ACE tree. The set of live files — base tree generation, sorted runs,
+// WAL ids — is named by a checksummed manifest (ViewManifest) whose
+// atomic rewrite is the single commit point for every structural change;
+// recovery after a crash at any point therefore sees either the old or
+// the new file set, never a mix.
+//
+// File naming, all under the view's name prefix:
+//   <view>.manifest     checksummed manifest (the commit point)
+//   <view>.base.g<N>    ACE tree generation N (never overwritten in place)
+//   <view>.run.<N>      immutable sorted run flushed from memtable N
+//   <view>.wal.<N>      write-ahead log of memtable N (raw records)
+// Ids are drawn from one monotone counter so a file name is never reused
+// across the view's lifetime.
+
+#ifndef MSV_CORE_INGEST_H_
+#define MSV_CORE_INGEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+#include "sampling/range_query.h"
+#include "storage/record.h"
+#include "util/result.h"
+
+namespace msv::core {
+
+/// Knobs for the view's write path.
+struct IngestOptions {
+  /// Memtable record count that triggers a flush to a sorted run.
+  size_t memtable_max_records = 4096;
+  /// Sync the WAL on every Insert() so acknowledged inserts survive power
+  /// loss. Disable only when durability of the tail is expendable.
+  bool sync_wal = true;
+  /// Background compaction folds runs into the base tree once this many
+  /// runs exist (or the run fraction exceeds max_delta_fraction).
+  size_t compact_trigger_runs = 4;
+  /// Run compaction on a background thread. When false, runs accumulate
+  /// until an explicit Compact()/Rebuild().
+  bool background_compaction = true;
+  /// Poll period of the compaction thread between trigger checks.
+  uint64_t compact_poll_ms = 50;
+};
+
+/// An append-only in-memory buffer of fixed-size records; the mutable
+/// head of the view. Not internally synchronized — the owning view
+/// guards it with its mutex.
+class Memtable {
+ public:
+  Memtable(uint64_t id, size_t record_size)
+      : id_(id), record_size_(record_size) {}
+
+  uint64_t id() const { return id_; }
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Appends `count` records of record_size bytes each.
+  void Append(const char* records, size_t count);
+
+  const char* record(uint64_t i) const {
+    return data_.data() + i * record_size_;
+  }
+
+  /// Copies the records matching `query` into `out`.
+  void CollectMatches(const storage::RecordLayout& layout,
+                      const sampling::RangeQuery& query,
+                      std::vector<std::string>* out) const;
+
+  /// Record pointers sorted by the first key dimension (the run order).
+  std::vector<const char*> SortedRecords(
+      const storage::RecordLayout& layout) const;
+
+ private:
+  uint64_t id_;
+  size_t record_size_;
+  std::string data_;
+  uint64_t count_ = 0;
+};
+
+/// Appends raw records to a view WAL. The format is a bare concatenation
+/// of fixed-size records: replay truncates at the last whole record, so a
+/// torn tail write loses only the unacknowledged suffix.
+class WalWriter {
+ public:
+  /// Opens `name` for appending, creating it (and making the creation
+  /// directory-durable) when missing.
+  static Result<std::unique_ptr<WalWriter>> Open(io::Env* env,
+                                                 const std::string& name,
+                                                 bool sync_each_append);
+
+  /// Appends `count` records; with sync_each_append the records are
+  /// crash-durable when this returns OK.
+  Status Append(const char* records, size_t record_size, size_t count);
+
+  uint64_t bytes() const { return offset_; }
+
+ private:
+  WalWriter(std::unique_ptr<io::File> file, uint64_t offset, bool sync)
+      : file_(std::move(file)), offset_(offset), sync_(sync) {}
+
+  std::unique_ptr<io::File> file_;
+  uint64_t offset_;
+  bool sync_;
+};
+
+/// Reads every whole record of WAL `name` (missing file: empty). A
+/// trailing partial record — a torn write at the crash point — is
+/// silently dropped; it was never acknowledged durable.
+Result<std::string> ReadWal(io::Env* env, const std::string& name,
+                            size_t record_size);
+
+/// The durable description of a view's live file set. Saving it
+/// atomically (tmp + Sync + rename-over + SyncDir) commits a structural
+/// change; every field is covered by a masked CRC32C.
+struct ViewManifest {
+  /// File name of the live ACE tree generation.
+  std::string base_file;
+  /// Next unallocated id for memtables/runs/base generations.
+  uint64_t next_id = 1;
+  /// Highest memtable id whose records are fully contained in runs or the
+  /// base; WALs with ids <= flushed_through are dead.
+  uint64_t flushed_through = 0;
+  /// Ids of the live sorted runs, oldest first.
+  std::vector<uint64_t> runs;
+};
+
+Status SaveManifest(io::Env* env, const std::string& file,
+                    const ViewManifest& manifest);
+Result<ViewManifest> LoadManifest(io::Env* env, const std::string& file);
+
+/// Writes `records` (pre-sorted) as heap file `file` via the crash-atomic
+/// protocol: the file either exists complete and synced, or not at all.
+Status WriteRunFile(io::Env* env, const std::string& file, size_t record_size,
+                    const std::vector<const char*>& records);
+
+}  // namespace msv::core
+
+#endif  // MSV_CORE_INGEST_H_

@@ -1,8 +1,11 @@
 #include "core/sample_view.h"
 
 #include <algorithm>
+#include <chrono>
+#include <set>
 
-#include "obs/metrics.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace msv::core {
@@ -11,33 +14,44 @@ namespace msv::core {
 // ViewSampler
 // ---------------------------------------------------------------------------
 
-ViewSampler::ViewSampler(std::unique_ptr<AceSampler> base,
-                         uint64_t base_estimate,
-                         std::vector<std::string> delta_matches,
-                         size_t record_size, uint64_t seed,
-                         size_t records_per_pull)
-    : base_(std::move(base)),
+ViewSampler::ViewSampler(std::shared_ptr<const AceTree> tree,
+                         std::unique_ptr<AceSampler> base,
+                         uint64_t base_estimate, bool base_exact,
+                         std::vector<ExactPartition> exact, size_t record_size,
+                         uint64_t seed, size_t records_per_pull)
+    : tree_(std::move(tree)),
+      base_(std::move(base)),
       base_estimate_(base_estimate),
-      delta_(std::move(delta_matches)),
+      base_exact_(base_exact),
+      exact_(std::move(exact)),
       record_size_(record_size),
       rng_(seed),
       records_per_pull_(records_per_pull) {
-  Shuffle(&delta_, &rng_);
+  for (ExactPartition& p : exact_) {
+    Shuffle(&p.records, &rng_);
+    exact_remaining_ += p.records.size();
+  }
 }
 
 uint64_t ViewSampler::BaseRemaining() const {
   if (base_->done()) return base_queue_.size();
+  uint64_t estimated =
+      base_estimate_ > base_emitted_ ? base_estimate_ - base_emitted_ : 0;
+  if (base_exact_) {
+    // The caller vouched for the count; records already pulled into the
+    // queue are matches in hand, so never report below them.
+    return std::max<uint64_t>(estimated, base_queue_.size());
+  }
   // At least one more than the queue holds (the stream is not done), but
   // never below what we can see; otherwise trust the estimate.
   uint64_t seen_floor = base_queue_.size() + 1;
-  uint64_t estimated = base_estimate_ > base_emitted_
-                           ? base_estimate_ - base_emitted_
-                           : 0;
   return std::max<uint64_t>(estimated, seen_floor);
 }
 
 bool ViewSampler::done() const {
-  return base_->done() && base_queue_.empty() && delta_next_ >= delta_.size();
+  bool base_done = base_->done() ? base_queue_.empty()
+                                 : (base_exact_ && BaseRemaining() == 0);
+  return base_done && exact_remaining_ == 0;
 }
 
 Result<sampling::SampleBatch> ViewSampler::NextBatch() {
@@ -46,15 +60,16 @@ Result<sampling::SampleBatch> ViewSampler::NextBatch() {
   size_t emitted = 0;
   while (emitted < records_per_pull_) {
     uint64_t rb = BaseRemaining();
-    uint64_t rd = delta_.size() - delta_next_;
-    if (rb == 0 && rd == 0) break;
-    // Hypergeometric choice: the next unified sample comes from a
-    // partition with probability proportional to its remaining matches.
-    bool from_base = rng_.Below(rb + rd) < rb;
-    if (from_base) {
+    uint64_t total = rb + exact_remaining_;
+    if (total == 0) break;
+    // P-partition hypergeometric choice: the next unified sample comes
+    // from a partition with probability proportional to its remaining
+    // matching count, so every prefix stays a uniform without-replacement
+    // sample of the union (Brown & Haas).
+    uint64_t draw = rng_.Below(total);
+    if (draw < rb) {
       while (base_queue_.empty() && !base_->done()) {
-        MSV_ASSIGN_OR_RETURN(sampling::SampleBatch pulled,
-                             base_->NextBatch());
+        MSV_ASSIGN_OR_RETURN(sampling::SampleBatch pulled, base_->NextBatch());
         for (size_t i = 0; i < pulled.count(); ++i) {
           base_queue_.emplace_back(pulled.record(i), record_size_);
         }
@@ -64,8 +79,23 @@ Result<sampling::SampleBatch> ViewSampler::NextBatch() {
       base_queue_.pop_back();
       ++base_emitted_;
     } else {
-      batch.Append(delta_[delta_next_].data());
-      ++delta_next_;
+      // Walk the in-memory partitions by their remaining counts; within
+      // the chosen partition the pre-shuffled order makes the head a
+      // uniform draw of its remainder.
+      uint64_t offset = draw - rb;
+      bool taken = false;
+      for (ExactPartition& p : exact_) {
+        uint64_t remaining = p.records.size() - p.next;
+        if (offset < remaining) {
+          batch.Append(p.records[p.next].data());
+          ++p.next;
+          --exact_remaining_;
+          taken = true;
+          break;
+        }
+        offset -= remaining;
+      }
+      if (!taken) continue;  // unreachable: counts always cover the draw
     }
     ++emitted;
     ++returned_;
@@ -76,137 +106,635 @@ Result<sampling::SampleBatch> ViewSampler::NextBatch() {
 }
 
 // ---------------------------------------------------------------------------
-// MaterializedSampleView
+// MaterializedSampleView: construction, open, recovery
 // ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parses `text` as `<stem><decimal id>` with nothing trailing.
+bool ParseSuffixId(const std::string& text, const std::string& stem,
+                   uint64_t* id) {
+  if (text.size() <= stem.size() || text.compare(0, stem.size(), stem) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = stem.size(); i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *id = value;
+  return true;
+}
+
+}  // namespace
+
+MaterializedSampleView::MaterializedSampleView(io::Env* env, std::string name,
+                                               storage::RecordLayout layout,
+                                               Options options)
+    : env_(env),
+      name_(std::move(name)),
+      layout_(std::move(layout)),
+      options_(options),
+      c_inserted_records_(obs::MetricRegistry::Global().GetCounter(
+          "ingest.inserted_records")),
+      c_flushes_(obs::MetricRegistry::Global().GetCounter("ingest.flushes")),
+      c_compactions_(
+          obs::MetricRegistry::Global().GetCounter("ingest.compactions")),
+      c_compacted_records_(obs::MetricRegistry::Global().GetCounter(
+          "ingest.compacted_records")),
+      c_compaction_errors_(obs::MetricRegistry::Global().GetCounter(
+          "ingest.compaction_errors")),
+      c_wal_bytes_(
+          obs::MetricRegistry::Global().GetCounter("ingest.wal_bytes")),
+      g_memtable_records_(obs::MetricRegistry::Global().GetGauge(
+          "ingest.memtable_records")),
+      g_run_count_(obs::MetricRegistry::Global().GetGauge("ingest.runs")),
+      g_run_records_(
+          obs::MetricRegistry::Global().GetGauge("ingest.run_records")),
+      g_base_records_(
+          obs::MetricRegistry::Global().GetGauge("ingest.base_records")),
+      h_flush_us_(
+          obs::MetricRegistry::Global().GetHistogram("ingest.flush_us")),
+      h_compact_us_(
+          obs::MetricRegistry::Global().GetHistogram("ingest.compact_us")) {}
+
+MaterializedSampleView::~MaterializedSampleView() { StopCompactor(); }
 
 Result<std::unique_ptr<MaterializedSampleView>> MaterializedSampleView::Create(
     io::Env* env, const std::string& name, const std::string& relation_name,
     const storage::RecordLayout& layout, const Options& options) {
   std::unique_ptr<MaterializedSampleView> view(
       new MaterializedSampleView(env, name, layout, options));
-  MSV_RETURN_IF_ERROR(BuildAceTree(env, relation_name, view->BaseName(),
-                                   layout, options.build));
-  // Fresh, empty differential file.
-  MSV_ASSIGN_OR_RETURN(
-      std::unique_ptr<storage::HeapFileWriter> writer,
-      storage::HeapFileWriter::Create(env, view->DeltaName(),
-                                      layout.record_size));
-  MSV_RETURN_IF_ERROR(writer->Finish());
-  MSV_RETURN_IF_ERROR(view->OpenTree());
-  MSV_RETURN_IF_ERROR(view->LoadDelta());
+  {
+    MutexLock lock(view->mu_);
+    // Generation 1 is the paper's bulk build over the source relation.
+    const std::string base = view->BaseGenName(1);
+    MSV_RETURN_IF_ERROR(
+        BuildAceTree(env, relation_name, base, layout, options.build));
+    MSV_ASSIGN_OR_RETURN(std::unique_ptr<AceTree> tree,
+                         AceTree::Open(env, base, layout));
+    view->tree_ = std::move(tree);
+    view->base_file_ = base;
+    view->next_id_ = 2;
+    const uint64_t memtable_id = view->next_id_++;
+    // The manifest commit makes the view exist; a crash before it leaves
+    // only orphans that DropFiles/recovery clean up.
+    MSV_RETURN_IF_ERROR(SaveManifest(env, view->ManifestName(),
+                                     view->CurrentManifestLocked()));
+    view->memtable_ =
+        std::make_unique<Memtable>(memtable_id, layout.record_size);
+    MSV_ASSIGN_OR_RETURN(view->wal_,
+                         WalWriter::Open(env, view->WalName(memtable_id),
+                                         options.ingest.sync_wal));
+    view->UpdateGaugesLocked();
+  }
+  view->StartCompactor();
   return view;
 }
 
 Result<std::unique_ptr<MaterializedSampleView>> MaterializedSampleView::Open(
-    io::Env* env, const std::string& name,
-    const storage::RecordLayout& layout, const Options& options) {
+    io::Env* env, const std::string& name, const storage::RecordLayout& layout,
+    const Options& options) {
   std::unique_ptr<MaterializedSampleView> view(
       new MaterializedSampleView(env, name, layout, options));
-  MSV_RETURN_IF_ERROR(view->OpenTree());
-  MSV_RETURN_IF_ERROR(view->LoadDelta());
+  {
+    MutexLock lock(view->mu_);
+    MSV_RETURN_IF_ERROR(view->RecoverLocked());
+  }
+  view->StartCompactor();
   return view;
 }
 
-Status MaterializedSampleView::OpenTree() {
-  MSV_ASSIGN_OR_RETURN(tree_, AceTree::Open(env_, BaseName(), layout_));
-  return Status::OK();
-}
+Status MaterializedSampleView::RecoverLocked() {
+  bool dirty = false;  // structural changes to persist before returning
+  ViewManifest manifest;
+  MSV_ASSIGN_OR_RETURN(bool have_manifest,
+                       env_->FileExists(ManifestName()));
+  if (have_manifest) {
+    MSV_ASSIGN_OR_RETURN(manifest, LoadManifest(env_, ManifestName()));
+  } else {
+    MSV_RETURN_IF_ERROR(MigrateLegacyLocked(&manifest));
+    dirty = true;
+  }
 
-Status MaterializedSampleView::LoadDelta() {
-  MSV_ASSIGN_OR_RETURN(std::unique_ptr<storage::HeapFile> delta,
-                       storage::HeapFile::Open(env_, DeltaName()));
-  delta_count_ = delta->record_count();
-  return Status::OK();
-}
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<AceTree> tree,
+                       AceTree::Open(env_, manifest.base_file, layout_));
+  tree_ = std::move(tree);
+  base_file_ = manifest.base_file;
+  next_id_ = manifest.next_id;
+  flushed_through_ = manifest.flushed_through;
+  runs_.clear();
+  run_records_ = 0;
+  for (uint64_t id : manifest.runs) {
+    MSV_RETURN_IF_ERROR(OpenRunLocked(id));
+  }
 
-Status MaterializedSampleView::Insert(const char* records, size_t count) {
-  MSV_RETURN_IF_ERROR(
-      storage::AppendToHeapFile(env_, DeltaName(), records, count));
-  delta_count_ += count;
-  return Status::OK();
-}
-
-bool MaterializedSampleView::NeedsRebuild() const {
-  return static_cast<double>(delta_count_) >
-         options_.max_delta_fraction * static_cast<double>(base_records());
-}
-
-Result<std::unique_ptr<ViewSampler>> MaterializedSampleView::Sample(
-    const sampling::RangeQuery& query, uint64_t seed,
-    uint64_t exact_base_count) const {
-  MSV_RETURN_IF_ERROR(query.Validate(layout_));
-
-  // The differential file is small by design: scan it, keep the matches.
-  std::vector<std::string> delta_matches;
-  {
-    MSV_ASSIGN_OR_RETURN(std::unique_ptr<storage::HeapFile> delta,
-                         storage::HeapFile::Open(env_, DeltaName()));
-    auto scanner = delta->NewScanner();
-    for (;;) {
-      MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
-      if (rec == nullptr) break;
-      if (query.Matches(layout_, rec)) {
-        delta_matches.emplace_back(rec, layout_.record_size);
-      }
+  // WAL replay: every WAL newer than flushed_through holds acknowledged
+  // inserts that never reached a run. All but the newest are sealed —
+  // flush them to runs; the newest becomes the live memtable again.
+  MSV_ASSIGN_OR_RETURN(std::vector<std::string> files, env_->ListFiles());
+  const std::string prefix = name_ + ".";
+  std::vector<uint64_t> wal_ids;
+  for (const std::string& f : files) {
+    if (f.rfind(prefix, 0) != 0) continue;
+    uint64_t id = 0;
+    if (ParseSuffixId(f.substr(prefix.size()), "wal.", &id) &&
+        id > flushed_through_) {
+      wal_ids.push_back(id);
     }
   }
-
-  uint64_t base_estimate = exact_base_count;
-  if (base_estimate == 0) {
-    MSV_ASSIGN_OR_RETURN(base_estimate, tree_->EstimateMatchCount(query));
+  std::sort(wal_ids.begin(), wal_ids.end());
+  for (size_t i = 0; i + 1 < wal_ids.size(); ++i) {
+    const uint64_t id = wal_ids[i];
+    MSV_ASSIGN_OR_RETURN(std::string data,
+                         ReadWal(env_, WalName(id), layout_.record_size));
+    const uint64_t n = data.size() / layout_.record_size;
+    if (n > 0) {
+      Memtable replay(id, layout_.record_size);
+      replay.Append(data.data(), n);
+      MSV_RETURN_IF_ERROR(WriteRunFile(env_, RunName(id),
+                                       layout_.record_size,
+                                       replay.SortedRecords(layout_)));
+      MSV_RETURN_IF_ERROR(OpenRunLocked(id));
+    }
+    flushed_through_ = id;
+    next_id_ = std::max(next_id_, id + 1);
+    dirty = true;
   }
-  auto base = std::make_unique<AceSampler>(tree_.get(), query, seed);
-  return std::unique_ptr<ViewSampler>(new ViewSampler(
-      std::move(base), base_estimate, std::move(delta_matches),
-      layout_.record_size, seed ^ 0x9e3779b97f4a7c15ULL, 64));
+  uint64_t memtable_id;
+  if (!wal_ids.empty()) {
+    memtable_id = wal_ids.back();
+    memtable_ = std::make_unique<Memtable>(memtable_id, layout_.record_size);
+    MSV_ASSIGN_OR_RETURN(
+        std::string data,
+        ReadWal(env_, WalName(memtable_id), layout_.record_size));
+    const uint64_t n = data.size() / layout_.record_size;
+    if (n > 0) memtable_->Append(data.data(), n);
+    next_id_ = std::max(next_id_, memtable_id + 1);
+  } else {
+    memtable_id = next_id_++;
+    memtable_ = std::make_unique<Memtable>(memtable_id, layout_.record_size);
+  }
+  MSV_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, WalName(memtable_id),
+                                             options_.ingest.sync_wal));
+
+  if (dirty) {
+    MSV_RETURN_IF_ERROR(
+        SaveManifest(env_, ManifestName(), CurrentManifestLocked()));
+  }
+  MSV_RETURN_IF_ERROR(CleanOrphansLocked());
+  UpdateGaugesLocked();
+  return Status::OK();
 }
 
+Status MaterializedSampleView::MigrateLegacyLocked(ViewManifest* manifest) {
+  // Pre-manifest format: `<name>.base` ACE tree + `<name>.delta` heap
+  // file. Adopt the base in place; fold a non-empty delta into run 1.
+  MSV_ASSIGN_OR_RETURN(bool have_base, env_->FileExists(LegacyBaseName()));
+  if (!have_base) {
+    return Status::NotFound("no such sample view: " + name_);
+  }
+  manifest->base_file = LegacyBaseName();
+  manifest->next_id = 1;
+  manifest->flushed_through = 0;
+  MSV_ASSIGN_OR_RETURN(bool have_delta, env_->FileExists(LegacyDeltaName()));
+  if (have_delta) {
+    MSV_ASSIGN_OR_RETURN(std::unique_ptr<storage::HeapFile> delta,
+                         storage::HeapFile::Open(env_, LegacyDeltaName()));
+    if (delta->record_count() > 0) {
+      Memtable replay(1, layout_.record_size);
+      auto scanner = delta->NewScanner();
+      for (;;) {
+        MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
+        if (rec == nullptr) break;
+        replay.Append(rec, 1);
+      }
+      MSV_RETURN_IF_ERROR(WriteRunFile(env_, RunName(1), layout_.record_size,
+                                       replay.SortedRecords(layout_)));
+      manifest->runs.push_back(1);
+      manifest->flushed_through = 1;
+      manifest->next_id = 2;
+    }
+  }
+  // The delta file itself is deleted by CleanOrphansLocked, which runs
+  // only after the manifest is durably committed.
+  return Status::OK();
+}
+
+Status MaterializedSampleView::CleanOrphansLocked() {
+  MSV_ASSIGN_OR_RETURN(std::vector<std::string> files, env_->ListFiles());
+  const std::string prefix = name_ + ".";
+  std::set<uint64_t> live_runs;
+  for (const RunHandle& run : runs_) live_runs.insert(run.id);
+  for (const std::string& f : files) {
+    if (f.rfind(prefix, 0) != 0) continue;
+    const std::string suffix = f.substr(prefix.size());
+    bool drop = false;
+    uint64_t id = 0;
+    if (suffix.size() > 4 && suffix.compare(suffix.size() - 4, 4, ".tmp") == 0) {
+      drop = true;  // torn atomic write of any view file
+    } else if (suffix == "scratch" || suffix == "rebuild" ||
+               suffix == "delta") {
+      drop = true;  // compaction scratch / migrated legacy delta
+    } else if (suffix == "base") {
+      drop = f != base_file_;
+    } else if (ParseSuffixId(suffix, "base.g", &id)) {
+      drop = f != base_file_;
+    } else if (ParseSuffixId(suffix, "run.", &id)) {
+      drop = live_runs.count(id) == 0;
+    } else if (ParseSuffixId(suffix, "wal.", &id)) {
+      drop = id <= flushed_through_;
+    }
+    if (drop) env_->DeleteFile(f).IgnoreError();
+  }
+  return Status::OK();
+}
+
+Status MaterializedSampleView::DropFiles(io::Env* env,
+                                         const std::string& name) {
+  MSV_ASSIGN_OR_RETURN(std::vector<std::string> files, env->ListFiles());
+  const std::string prefix = name + ".";
+  for (const std::string& f : files) {
+    if (f.rfind(prefix, 0) != 0) continue;
+    const std::string suffix = f.substr(prefix.size());
+    uint64_t id = 0;
+    bool ours =
+        suffix == "manifest" || suffix == "base" || suffix == "delta" ||
+        suffix == "scratch" || suffix == "rebuild" ||
+        (suffix.size() > 4 &&
+         suffix.compare(suffix.size() - 4, 4, ".tmp") == 0) ||
+        ParseSuffixId(suffix, "base.g", &id) ||
+        ParseSuffixId(suffix, "run.", &id) ||
+        ParseSuffixId(suffix, "wal.", &id);
+    if (ours) env->DeleteFile(f).IgnoreError();
+  }
+  return Status::OK();
+}
+
+ViewManifest MaterializedSampleView::CurrentManifestLocked() const {
+  ViewManifest m;
+  m.base_file = base_file_;
+  m.next_id = next_id_;
+  m.flushed_through = flushed_through_;
+  for (const RunHandle& run : runs_) m.runs.push_back(run.id);
+  return m;
+}
+
+Status MaterializedSampleView::OpenRunLocked(uint64_t id) {
+  MSV_ASSIGN_OR_RETURN(std::unique_ptr<storage::HeapFile> file,
+                       storage::HeapFile::Open(env_, RunName(id)));
+  run_records_ += file->record_count();
+  runs_.push_back(RunHandle{id, std::move(file)});
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Write path: Insert, Flush
+// ---------------------------------------------------------------------------
+
+Status MaterializedSampleView::Insert(const char* records, size_t count) {
+  if (count == 0) return Status::OK();
+  MutexLock lock(mu_);
+  // WAL first: the insert is acknowledged only once it would survive a
+  // crash (sync_wal), then it becomes visible via the memtable.
+  MSV_RETURN_IF_ERROR(wal_->Append(records, layout_.record_size, count));
+  memtable_->Append(records, count);
+  c_inserted_records_->Add(count);
+  c_wal_bytes_->Add(count * layout_.record_size);
+  Status st = Status::OK();
+  if (memtable_->count() >= options_.ingest.memtable_max_records) {
+    st = FlushLocked();
+  }
+  UpdateGaugesLocked();
+  if (CompactionTriggeredLocked()) cv_.SignalAll();
+  return st;
+}
+
+Status MaterializedSampleView::Flush() {
+  MutexLock lock(mu_);
+  Status st = FlushLocked();
+  UpdateGaugesLocked();
+  if (CompactionTriggeredLocked()) cv_.SignalAll();
+  return st;
+}
+
+Status MaterializedSampleView::FlushLocked() {
+  if (memtable_->empty()) return Status::OK();
+  const uint64_t start_us = obs::WallTimeUs();
+  const uint64_t run_id = memtable_->id();
+  MSV_RETURN_IF_ERROR(WriteRunFile(env_, RunName(run_id), layout_.record_size,
+                                   memtable_->SortedRecords(layout_)));
+  // Manifest commit: the run becomes live and its WAL dead in one atomic
+  // step. A crash before this replays the WAL; after it, opens the run.
+  ViewManifest m = CurrentManifestLocked();
+  m.runs.push_back(run_id);
+  m.flushed_through = run_id;
+  const uint64_t new_memtable_id = next_id_;
+  m.next_id = new_memtable_id + 1;
+  Status saved = SaveManifest(env_, ManifestName(), m);
+  if (!saved.ok()) {
+    env_->DeleteFile(RunName(run_id)).IgnoreError();
+    return saved;
+  }
+  flushed_through_ = run_id;
+  next_id_ = new_memtable_id + 1;
+  memtable_ = std::make_unique<Memtable>(new_memtable_id, layout_.record_size);
+  wal_.reset();
+  env_->DeleteFile(WalName(run_id)).IgnoreError();
+  MSV_RETURN_IF_ERROR(OpenRunLocked(run_id));
+  MSV_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, WalName(new_memtable_id),
+                                             options_.ingest.sync_wal));
+  c_flushes_->Add(1);
+  h_flush_us_->Record(obs::WallTimeUs() - start_us);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+bool MaterializedSampleView::CompactionTriggeredLocked() const {
+  if (runs_.empty()) return false;
+  if (runs_.size() >= options_.ingest.compact_trigger_runs) return true;
+  return static_cast<double>(run_records_) >
+         options_.max_delta_fraction *
+             static_cast<double>(tree_->meta().num_records);
+}
+
+Status MaterializedSampleView::Compact() { return CompactOnce(); }
+
 Status MaterializedSampleView::Rebuild() {
-  // Dump the view's full contents (base leaves in order — a sequential
-  // read of the data region — plus the delta) into a scratch heap file.
-  const std::string scratch = name_ + ".rebuild";
-  {
-    MSV_ASSIGN_OR_RETURN(
-        std::unique_ptr<storage::HeapFileWriter> writer,
-        storage::HeapFileWriter::Create(env_, scratch, layout_.record_size));
-    for (uint64_t leaf = 0; leaf < tree_->meta().num_leaves; ++leaf) {
-      MSV_ASSIGN_OR_RETURN(LeafData data, tree_->ReadLeaf(leaf));
-      for (uint32_t s = 1; s <= tree_->meta().height; ++s) {
+  MSV_RETURN_IF_ERROR(Flush());
+  return CompactOnce();
+}
+
+Status MaterializedSampleView::BuildCompactedBase(const CompactionPlan& plan) {
+  // Dump the sealed inputs — base leaves in order (a sequential read of
+  // the data region) plus every sealed run — into a scratch heap file,
+  // then rebuild. All inputs are immutable; no lock is held.
+  const std::string scratch = ScratchName();
+  auto write_scratch = [&]() -> Status {
+    MSV_ASSIGN_OR_RETURN(std::unique_ptr<storage::HeapFileWriter> writer,
+                         storage::HeapFileWriter::Create(
+                             env_, scratch, layout_.record_size));
+    for (uint64_t leaf = 0; leaf < plan.base->meta().num_leaves; ++leaf) {
+      MSV_ASSIGN_OR_RETURN(LeafData data, plan.base->ReadLeaf(leaf));
+      for (uint32_t s = 1; s <= plan.base->meta().height; ++s) {
         for (size_t i = 0; i < data.SectionCount(s); ++i) {
           MSV_RETURN_IF_ERROR(writer->Append(data.SectionRecord(s, i)));
         }
       }
     }
-    MSV_ASSIGN_OR_RETURN(std::unique_ptr<storage::HeapFile> delta,
-                         storage::HeapFile::Open(env_, DeltaName()));
-    auto scanner = delta->NewScanner();
+    for (const RunHandle& run : plan.runs) {
+      auto scanner = run.file->NewScanner();
+      for (;;) {
+        MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
+        if (rec == nullptr) break;
+        MSV_RETURN_IF_ERROR(writer->Append(rec));
+      }
+    }
+    return writer->Finish();
+  };
+  Status st = write_scratch();
+  if (st.ok()) {
+    AceBuildOptions build = options_.build;
+    build.seed = plan.build_seed;  // fresh section/leaf randomness
+    st = BuildAceTree(env_, scratch, plan.output_file, layout_, build);
+  }
+  env_->DeleteFile(scratch).IgnoreError();  // best-effort scratch cleanup
+  return st;
+}
+
+Status MaterializedSampleView::CompactOnce() {
+  CompactionPlan plan;
+  {
+    MutexLock lock(mu_);
+    while (compacting_) cv_.Wait(mu_);
+    if (runs_.empty()) return Status::OK();
+    compacting_ = true;
+    plan.base = tree_;
+    plan.runs = runs_;
+    plan.output_file = BaseGenName(next_id_);
+    plan.build_seed = options_.build.seed ^ (0x517cc1b727220a95ULL * next_id_);
+    ++next_id_;
+  }
+  const uint64_t start_us = obs::WallTimeUs();
+  Status result = BuildCompactedBase(plan);
+
+  bool committed = false;
+  std::vector<std::string> obsolete;
+  {
+    MutexLock lock(mu_);
+    if (result.ok()) {
+      auto opened = AceTree::Open(env_, plan.output_file, layout_);
+      if (!opened.ok()) {
+        result = opened.status();
+      } else {
+        // Commit: the manifest swap retires the old generation and the
+        // sealed runs in one atomic step. Runs flushed while we built
+        // (ids not in the plan) stay live. The old base file is deleted
+        // only after the commit — never before — so a crash anywhere
+        // leaves an openable tree.
+        std::set<uint64_t> sealed;
+        for (const RunHandle& run : plan.runs) sealed.insert(run.id);
+        ViewManifest m = CurrentManifestLocked();
+        m.base_file = plan.output_file;
+        m.runs.clear();
+        for (const RunHandle& run : runs_) {
+          if (sealed.count(run.id) == 0) m.runs.push_back(run.id);
+        }
+        Status saved = SaveManifest(env_, ManifestName(), m);
+        if (!saved.ok()) {
+          result = saved;
+        } else {
+          committed = true;
+          obsolete.push_back(base_file_);
+          uint64_t folded = 0;
+          for (const RunHandle& run : plan.runs) {
+            obsolete.push_back(RunName(run.id));
+            folded += run.file->record_count();
+          }
+          base_file_ = plan.output_file;
+          tree_ = std::shared_ptr<const AceTree>(std::move(opened.value()));
+          std::vector<RunHandle> remaining;
+          run_records_ = 0;
+          for (RunHandle& run : runs_) {
+            if (sealed.count(run.id) == 0) {
+              run_records_ += run.file->record_count();
+              remaining.push_back(std::move(run));
+            }
+          }
+          runs_ = std::move(remaining);
+          c_compactions_->Add(1);
+          c_compacted_records_->Add(folded);
+          h_compact_us_->Record(obs::WallTimeUs() - start_us);
+          UpdateGaugesLocked();
+        }
+      }
+    }
+    compacting_ = false;
+    cv_.SignalAll();
+  }
+  if (!committed) {
+    env_->DeleteFile(plan.output_file).IgnoreError();
+  }
+  // Old generation and folded runs: open handles (live samplers, MemEnv
+  // shared file data, POSIX fd semantics) keep their data readable.
+  for (const std::string& f : obsolete) env_->DeleteFile(f).IgnoreError();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Background compactor lifecycle (the MetricsPoller pattern)
+// ---------------------------------------------------------------------------
+
+void MaterializedSampleView::StartCompactor() {
+  if (!options_.ingest.background_compaction) return;
+  MutexLock lock(mu_);
+  // A concurrent StopCompactor() owns the thread until it finishes
+  // joining.
+  while (compactor_state_ == CompactorState::kStopping) cv_.Wait(mu_);
+  if (compactor_state_ == CompactorState::kRunning) return;
+  stop_requested_ = false;
+  compactor_thread_ =
+      std::thread(&MaterializedSampleView::CompactorMain, this);
+  compactor_state_ = CompactorState::kRunning;
+}
+
+void MaterializedSampleView::StopCompactor() {
+  std::thread to_join;
+  {
+    MutexLock lock(mu_);
+    while (compactor_state_ == CompactorState::kStopping) cv_.Wait(mu_);
+    if (compactor_state_ == CompactorState::kStopped) return;
+    compactor_state_ = CompactorState::kStopping;
+    stop_requested_ = true;
+    cv_.SignalAll();
+    to_join = std::move(compactor_thread_);
+  }
+  to_join.join();
+  MutexLock lock(mu_);
+  compactor_state_ = CompactorState::kStopped;
+  cv_.SignalAll();
+}
+
+void MaterializedSampleView::CompactorMain() {
+  obs::SetThreadLabel("view-compactor");
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      while (!stop_requested_ &&
+             !(CompactionTriggeredLocked() && !compacting_)) {
+        cv_.WaitFor(mu_,
+                    std::chrono::milliseconds(options_.ingest.compact_poll_ms));
+      }
+      if (stop_requested_) return;
+    }
+    Status st = CompactOnce();
+    if (!st.ok()) {
+      c_compaction_errors_->Add(1);
+      MSV_LOG(Warn) << "view " << name_ << " compaction: " << st.ToString();
+      // Back off so a persistently failing compaction doesn't spin.
+      MutexLock lock(mu_);
+      if (stop_requested_) return;
+      cv_.WaitFor(mu_, std::chrono::milliseconds(
+                           options_.ingest.compact_poll_ms * 20));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read path: accessors, Sample
+// ---------------------------------------------------------------------------
+
+uint64_t MaterializedSampleView::base_records() const {
+  MutexLock lock(mu_);
+  return tree_->meta().num_records;
+}
+
+uint64_t MaterializedSampleView::DeltaRecordsLocked() const {
+  return run_records_ + (memtable_ != nullptr ? memtable_->count() : 0);
+}
+
+uint64_t MaterializedSampleView::delta_records() const {
+  MutexLock lock(mu_);
+  return DeltaRecordsLocked();
+}
+
+uint64_t MaterializedSampleView::memtable_records() const {
+  MutexLock lock(mu_);
+  return memtable_ != nullptr ? memtable_->count() : 0;
+}
+
+uint64_t MaterializedSampleView::run_count() const {
+  MutexLock lock(mu_);
+  return runs_.size();
+}
+
+bool MaterializedSampleView::NeedsRebuild() const {
+  MutexLock lock(mu_);
+  return static_cast<double>(DeltaRecordsLocked()) >
+         options_.max_delta_fraction *
+             static_cast<double>(tree_->meta().num_records);
+}
+
+std::shared_ptr<const AceTree> MaterializedSampleView::tree() const {
+  MutexLock lock(mu_);
+  return tree_;
+}
+
+void MaterializedSampleView::UpdateGaugesLocked() {
+  g_memtable_records_->Set(
+      static_cast<double>(memtable_ != nullptr ? memtable_->count() : 0));
+  g_run_count_->Set(static_cast<double>(runs_.size()));
+  g_run_records_->Set(static_cast<double>(run_records_));
+  g_base_records_->Set(
+      static_cast<double>(tree_ != nullptr ? tree_->meta().num_records : 0));
+}
+
+Result<std::unique_ptr<ViewSampler>> MaterializedSampleView::Sample(
+    const sampling::RangeQuery& query, uint64_t seed,
+    std::optional<uint64_t> exact_base_count) const {
+  MSV_RETURN_IF_ERROR(query.Validate(layout_));
+  MutexLock lock(mu_);
+
+  // Snapshot the in-memory partitions under the lock: each run's and the
+  // memtable's matching records, oldest partition first. Runs are small
+  // by design (bounded by compaction), so scanning them here is cheap.
+  std::vector<ViewSampler::ExactPartition> exact;
+  exact.reserve(runs_.size() + 1);
+  for (const RunHandle& run : runs_) {
+    ViewSampler::ExactPartition p;
+    auto scanner = run.file->NewScanner();
     for (;;) {
       MSV_ASSIGN_OR_RETURN(const char* rec, scanner.Next());
       if (rec == nullptr) break;
-      MSV_RETURN_IF_ERROR(writer->Append(rec));
+      if (query.Matches(layout_, rec)) {
+        p.records.emplace_back(rec, layout_.record_size);
+      }
     }
-    MSV_RETURN_IF_ERROR(writer->Finish());
+    exact.push_back(std::move(p));
   }
-
-  // Build the replacement tree, then swap it in and reset the delta.
-  const std::string new_base = BaseName() + ".new";
-  AceBuildOptions build = options_.build;
-  build.seed ^= 0x517cc1b727220a95ULL;  // fresh section/leaf randomness
-  MSV_RETURN_IF_ERROR(BuildAceTree(env_, scratch, new_base, layout_, build));
-  env_->DeleteFile(scratch).IgnoreError();  // best-effort scratch cleanup
-
-  tree_.reset();  // release the old file before replacing it
-  MSV_RETURN_IF_ERROR(env_->DeleteFile(BaseName()));
-  MSV_RETURN_IF_ERROR(env_->RenameFile(new_base, BaseName()));
   {
-    MSV_ASSIGN_OR_RETURN(
-        std::unique_ptr<storage::HeapFileWriter> writer,
-        storage::HeapFileWriter::Create(env_, DeltaName(),
-                                        layout_.record_size));
-    MSV_RETURN_IF_ERROR(writer->Finish());
+    ViewSampler::ExactPartition p;
+    if (memtable_ != nullptr) {
+      memtable_->CollectMatches(layout_, query, &p.records);
+    }
+    exact.push_back(std::move(p));
   }
-  delta_count_ = 0;
-  return OpenTree();
+
+  uint64_t base_estimate;
+  bool base_exact = exact_base_count.has_value();
+  if (base_exact) {
+    base_estimate = *exact_base_count;
+  } else {
+    MSV_ASSIGN_OR_RETURN(base_estimate, tree_->EstimateMatchCount(query));
+  }
+  auto base = std::make_unique<AceSampler>(tree_.get(), query, seed);
+  return std::unique_ptr<ViewSampler>(new ViewSampler(
+      tree_, std::move(base), base_estimate, base_exact, std::move(exact),
+      layout_.record_size, seed ^ 0x9e3779b97f4a7c15ULL, 64));
 }
 
 }  // namespace msv::core

@@ -2,42 +2,59 @@
 //
 // The ACE tree is bulk-built and not incrementally updatable; the paper
 // (Sec. 9) prescribes the classic differential-file remedy: keep new
-// records in a small side file and, when sampling, draw from the ACE tree
-// or the differential file with the appropriate hypergeometric
-// probability (citing Brown & Haas for multi-partition sampling). This
-// module implements exactly that:
+// records outside the tree and, when sampling, draw from each partition
+// with the appropriate hypergeometric probability (citing Brown & Haas
+// for multi-partition sampling). This module productionizes that remedy
+// with LSM structuring:
 //
-//   view "V"  =  V.base  (an ACE tree over the records at build time)
-//             +  V.delta (a heap file of records inserted since)
-//             +  V.manifest (geometry + counts, checksummed)
+//   view "V" = V.base.g<N>  the live ACE tree generation
+//            + V.run.<i>    immutable sorted runs (flushed memtables)
+//            + memtable     the in-memory insert buffer, WAL-backed
+//            + V.manifest   checksummed; names the live file set
 //
-// Sampling interleaves the base tree's online sampler with an in-memory
-// shuffle of the (small) delta's matching records: each emitted record
-// comes from a partition with probability proportional to that
-// partition's remaining matching count, which keeps every prefix of the
-// unified stream a uniform random sample of base ∪ delta. Rebuild() folds
-// the delta back in by reconstructing the ACE tree from the view's own
-// contents (two external sorts again).
+// Insert() appends to the WAL (durable before acknowledgement) and the
+// memtable; a full memtable flushes to a sorted run via the crash-atomic
+// write protocol; a background compaction thread folds base + runs into
+// a fresh tree generation with BuildAceTree and commits the swap by
+// atomically rewriting the manifest — the old generation is deleted only
+// after the new one is durably committed, so a crash at any point leaves
+// an openable view and every acknowledged insert.
+//
+// Sampling interleaves the base tree's online sampler with in-memory
+// shuffles of each run's and the memtable's matching records: each
+// emitted record comes from a partition with probability proportional to
+// that partition's remaining matching count, which keeps every prefix of
+// the unified stream a uniform without-replacement sample of the whole
+// view (P-partition hypergeometric interleave). Samplers snapshot the
+// partition set under the view mutex, so concurrent inserts, flushes and
+// compactions never disturb a running stream.
 
 #ifndef MSV_CORE_SAMPLE_VIEW_H_
 #define MSV_CORE_SAMPLE_VIEW_H_
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ace_builder.h"
 #include "core/ace_sampler.h"
 #include "core/ace_tree.h"
+#include "core/ingest.h"
 #include "io/env.h"
+#include "obs/metrics.h"
 #include "sampling/sample_stream.h"
 #include "storage/heap_file.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace msv::core {
 
-/// A unified online sampler over base ∪ delta. Single-use, like every
-/// SampleStream.
+/// A unified online sampler over base tree + runs + memtable. Single-use,
+/// like every SampleStream. The sampler owns a snapshot of its partition
+/// set (shared tree handle, copied run/memtable matches), so it stays
+/// valid while the view compacts or flushes concurrently.
 class ViewSampler : public sampling::SampleStream {
  public:
   Result<sampling::SampleBatch> NextBatch() override;
@@ -45,22 +62,38 @@ class ViewSampler : public sampling::SampleStream {
   uint64_t samples_returned() const override { return returned_; }
   std::string name() const override { return "sample-view"; }
 
+  /// Number of partitions in the interleave (base + runs + memtable).
+  size_t partitions() const { return 1 + exact_.size(); }
+  /// Leaf pages the base partition has read (I/O visibility for tests).
+  uint64_t base_leaves_read() const { return base_->leaves_read(); }
+
  private:
   friend class MaterializedSampleView;
-  ViewSampler(std::unique_ptr<AceSampler> base, uint64_t base_estimate,
-              std::vector<std::string> delta_matches, size_t record_size,
-              uint64_t seed, size_t records_per_pull);
+
+  /// One fully in-memory partition (a run's or the memtable's matches),
+  /// pre-shuffled; next_ records have been emitted.
+  struct ExactPartition {
+    std::vector<std::string> records;
+    size_t next = 0;
+  };
+
+  ViewSampler(std::shared_ptr<const AceTree> tree,
+              std::unique_ptr<AceSampler> base, uint64_t base_estimate,
+              bool base_exact, std::vector<ExactPartition> exact,
+              size_t record_size, uint64_t seed, size_t records_per_pull);
 
   /// Remaining matching records believed to be in the base partition.
   uint64_t BaseRemaining() const;
 
+  std::shared_ptr<const AceTree> tree_;  // keeps the sampled generation alive
   std::unique_ptr<AceSampler> base_;
   std::vector<std::string> base_queue_;  // pulled but not yet emitted
-  uint64_t base_estimate_;               // matching count estimate
+  uint64_t base_estimate_;               // matching count (estimate or exact)
+  bool base_exact_;                      // caller vouched for base_estimate_
   uint64_t base_emitted_ = 0;
 
-  std::vector<std::string> delta_;  // shuffled matching delta records
-  size_t delta_next_ = 0;
+  std::vector<ExactPartition> exact_;  // runs (oldest first), then memtable
+  uint64_t exact_remaining_ = 0;
 
   size_t record_size_;
   Pcg64 rng_;
@@ -68,14 +101,18 @@ class ViewSampler : public sampling::SampleStream {
   uint64_t returned_ = 0;
 };
 
-/// Catalog-level handle to one named sample view.
+/// Catalog-level handle to one named sample view. Thread-safe: Insert(),
+/// Sample(), the accessors and the background compaction may run
+/// concurrently from different threads.
 class MaterializedSampleView {
  public:
   struct Options {
     AceBuildOptions build;
-    /// Rebuild is recommended when the delta exceeds this fraction of the
-    /// base (NeedsRebuild()).
+    /// Rebuild/compaction is recommended when the out-of-tree record
+    /// count (runs + memtable) exceeds this fraction of the base.
     double max_delta_fraction = 0.10;
+    /// Write-path knobs (memtable size, WAL syncing, compaction cadence).
+    IngestOptions ingest;
   };
 
   /// Creates view `name` over the records of heap file `relation_name`.
@@ -88,7 +125,10 @@ class MaterializedSampleView {
     return Create(env, name, relation_name, layout, Options());
   }
 
-  /// Opens an existing view.
+  /// Opens an existing view, replaying WALs and completing any structural
+  /// change the manifest doesn't name (crash recovery). Views written by
+  /// the pre-manifest format (single `<name>.delta` heap file) are
+  /// migrated on first open.
   static Result<std::unique_ptr<MaterializedSampleView>> Open(
       io::Env* env, const std::string& name,
       const storage::RecordLayout& layout, const Options& options);
@@ -98,52 +138,146 @@ class MaterializedSampleView {
     return Open(env, name, layout, Options());
   }
 
-  /// Appends new records (record_size bytes each) to the differential
-  /// file. Visible to samplers created afterwards.
-  Status Insert(const char* records, size_t count);
+  ~MaterializedSampleView();
 
-  /// Records in the base ACE tree / in the differential file.
-  uint64_t base_records() const { return tree_->meta().num_records; }
-  uint64_t delta_records() const { return delta_count_; }
-  bool NeedsRebuild() const;
+  /// Appends new records (record_size bytes each). Durable (WAL) and
+  /// visible to samplers created afterwards when this returns OK. May
+  /// flush the memtable inline when it reaches its threshold.
+  Status Insert(const char* records, size_t count) MSV_EXCLUDES(mu_);
 
-  /// Starts a unified online sampler for `query`. `exact_base_count`, if
-  /// non-zero, overrides the internal-node estimate of the base match
-  /// count (callers that know it — e.g. from a prior completed stream —
-  /// get an exactly hypergeometric interleave; the estimate is within
-  /// one boundary cell otherwise).
+  /// Flushes the memtable (if non-empty) to an immutable sorted run.
+  Status Flush() MSV_EXCLUDES(mu_);
+
+  /// Folds all current runs into a fresh base tree generation. No-op when
+  /// there are no runs. Safe to call while inserts proceed: the run set
+  /// is sealed at the start; records inserted afterwards go to the
+  /// memtable and later runs, and are never lost.
+  Status Compact() MSV_EXCLUDES(mu_);
+
+  /// Flush() + Compact(): folds everything inserted so far into the tree.
+  Status Rebuild() MSV_EXCLUDES(mu_);
+
+  /// Records in the base ACE tree / outside it (runs + memtable).
+  uint64_t base_records() const MSV_EXCLUDES(mu_);
+  uint64_t delta_records() const MSV_EXCLUDES(mu_);
+  uint64_t memtable_records() const MSV_EXCLUDES(mu_);
+  uint64_t run_count() const MSV_EXCLUDES(mu_);
+  bool NeedsRebuild() const MSV_EXCLUDES(mu_);
+
+  /// Starts a unified online sampler for `query`. `exact_base_count`,
+  /// when provided, overrides the internal-node estimate of the base
+  /// match count — callers that know it (e.g. from a prior completed
+  /// stream) get an exactly hypergeometric interleave, including the
+  /// zero-match case that skips base I/O entirely. The caller's count
+  /// must be correct; a low-ball ends the base stream early.
   Result<std::unique_ptr<ViewSampler>> Sample(
       const sampling::RangeQuery& query, uint64_t seed,
-      uint64_t exact_base_count = 0) const;
+      std::optional<uint64_t> exact_base_count = std::nullopt) const
+      MSV_EXCLUDES(mu_);
 
-  /// Folds the delta into a fresh ACE tree built from the view's own
-  /// contents; the delta becomes empty. Costs two external sorts plus
-  /// sequential passes, like the original build.
-  Status Rebuild();
+  /// The live base tree generation. Callers hold a shared snapshot that
+  /// survives concurrent compaction.
+  std::shared_ptr<const AceTree> tree() const MSV_EXCLUDES(mu_);
 
-  const AceTree& tree() const { return *tree_; }
+  /// Deletes every file belonging to view `name` (base generations, runs,
+  /// WALs, manifest, legacy delta). Best-effort; missing files are fine.
+  static Status DropFiles(io::Env* env, const std::string& name);
 
  private:
   MaterializedSampleView(io::Env* env, std::string name,
-                         storage::RecordLayout layout, Options options)
-      : env_(env),
-        name_(std::move(name)),
-        layout_(std::move(layout)),
-        options_(options) {}
+                         storage::RecordLayout layout, Options options);
 
-  std::string BaseName() const { return name_ + ".base"; }
-  std::string DeltaName() const { return name_ + ".delta"; }
+  std::string ManifestName() const { return name_ + ".manifest"; }
+  std::string BaseGenName(uint64_t id) const {
+    return name_ + ".base.g" + std::to_string(id);
+  }
+  std::string RunName(uint64_t id) const {
+    return name_ + ".run." + std::to_string(id);
+  }
+  std::string WalName(uint64_t id) const {
+    return name_ + ".wal." + std::to_string(id);
+  }
+  std::string ScratchName() const { return name_ + ".scratch"; }
+  std::string LegacyBaseName() const { return name_ + ".base"; }
+  std::string LegacyDeltaName() const { return name_ + ".delta"; }
 
-  Status LoadDelta();
-  Status OpenTree();
+  /// A live sorted run: its id and an open read handle.
+  struct RunHandle {
+    uint64_t id = 0;
+    std::shared_ptr<storage::HeapFile> file;
+  };
 
-  io::Env* env_;
-  std::string name_;
-  storage::RecordLayout layout_;
-  Options options_;
-  std::unique_ptr<AceTree> tree_;
-  std::unique_ptr<storage::HeapFileWriter> delta_writer_;
-  uint64_t delta_count_ = 0;
+  /// The inputs of one compaction, sealed under mu_ and processed
+  /// without it (all inputs are immutable).
+  struct CompactionPlan {
+    std::shared_ptr<const AceTree> base;
+    std::vector<RunHandle> runs;
+    std::string output_file;
+    uint64_t build_seed = 0;
+  };
+
+  Status RecoverLocked() MSV_REQUIRES(mu_);
+  Status MigrateLegacyLocked(ViewManifest* manifest) MSV_REQUIRES(mu_);
+  Status CleanOrphansLocked() MSV_REQUIRES(mu_);
+  ViewManifest CurrentManifestLocked() const MSV_REQUIRES(mu_);
+  Status OpenRunLocked(uint64_t id) MSV_REQUIRES(mu_);
+  Status FlushLocked() MSV_REQUIRES(mu_);
+  bool CompactionTriggeredLocked() const MSV_REQUIRES(mu_);
+  uint64_t DeltaRecordsLocked() const MSV_REQUIRES(mu_);
+  void UpdateGaugesLocked() MSV_REQUIRES(mu_);
+
+  /// One compaction cycle: seal the run set, build the new generation
+  /// (unlocked), commit via the manifest, delete obsolete files.
+  Status CompactOnce() MSV_EXCLUDES(mu_);
+  Status BuildCompactedBase(const CompactionPlan& plan);
+
+  void StartCompactor() MSV_EXCLUDES(mu_);
+  void StopCompactor() MSV_EXCLUDES(mu_);
+  void CompactorMain() MSV_EXCLUDES(mu_);
+
+  io::Env* const env_;
+  const std::string name_;
+  const storage::RecordLayout layout_;
+  const Options options_;
+
+  mutable Mutex mu_;
+  /// Signaled on: compaction trigger, compaction completion, compactor
+  /// lifecycle transitions.
+  mutable CondVar cv_;
+
+  std::shared_ptr<const AceTree> tree_ MSV_GUARDED_BY(mu_);
+  std::string base_file_ MSV_GUARDED_BY(mu_);
+  std::unique_ptr<Memtable> memtable_ MSV_GUARDED_BY(mu_);
+  std::unique_ptr<WalWriter> wal_ MSV_GUARDED_BY(mu_);
+  std::vector<RunHandle> runs_ MSV_GUARDED_BY(mu_);
+  uint64_t run_records_ MSV_GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ MSV_GUARDED_BY(mu_) = 1;
+  uint64_t flushed_through_ MSV_GUARDED_BY(mu_) = 0;
+  /// True while one compaction is between seal and commit; compactions
+  /// are serialized through this flag (the builder runs unlocked).
+  bool compacting_ MSV_GUARDED_BY(mu_) = false;
+
+  // Background compactor lifecycle (the MetricsPoller pattern: Stop()
+  // joins outside the lock while kStopping parks concurrent Start/Stop).
+  enum class CompactorState { kStopped, kRunning, kStopping };
+  CompactorState compactor_state_ MSV_GUARDED_BY(mu_) =
+      CompactorState::kStopped;
+  bool stop_requested_ MSV_GUARDED_BY(mu_) = false;
+  std::thread compactor_thread_ MSV_GUARDED_BY(mu_);
+
+  // Process-wide ingest metrics (registry-owned).
+  obs::Counter* const c_inserted_records_;
+  obs::Counter* const c_flushes_;
+  obs::Counter* const c_compactions_;
+  obs::Counter* const c_compacted_records_;
+  obs::Counter* const c_compaction_errors_;
+  obs::Counter* const c_wal_bytes_;
+  obs::Gauge* const g_memtable_records_;
+  obs::Gauge* const g_run_count_;
+  obs::Gauge* const g_run_records_;
+  obs::Gauge* const g_base_records_;
+  obs::LogHistogram* const h_flush_us_;
+  obs::LogHistogram* const h_compact_us_;
 };
 
 }  // namespace msv::core

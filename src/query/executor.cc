@@ -263,14 +263,15 @@ Result<std::string> Executor::ExplainPlan(const Statement& statement) {
   MSV_ASSIGN_OR_RETURN(
       sampling::RangeQuery query,
       BuildQuery(*info, sample ? sample->predicates : estimate->predicates));
-  const core::AceMeta& meta = view->tree().meta();
+  const std::shared_ptr<const core::AceTree> tree = view->tree();
+  const core::AceMeta& meta = tree->meta();
   out << "  view=" << *view_name << " base_records=" << view->base_records()
       << " delta_records=" << view->delta_records() << "\n";
   out << "  ace_tree: height=" << meta.height << " leaves=" << meta.num_leaves
       << " page_size=" << meta.page_size << "\n";
   out << "  range: " << DescribeQuery(*info, query) << "\n";
   MSV_ASSIGN_OR_RETURN(uint64_t matches,
-                       view->tree().EstimateMatchCount(query));
+                       view->tree()->EstimateMatchCount(query));
   out << "  estimated matches (index counts): " << matches << "\n";
   return out.str();
 }
@@ -309,7 +310,7 @@ Result<std::string> Executor::ExecCreateView(const CreateViewStmt& stmt) {
   std::string out = "created materialized sample view " + stmt.view +
                     " over " + stmt.table + " (" +
                     std::to_string(view->base_records()) + " rows, height " +
-                    std::to_string(view->tree().meta().height) + ")\n";
+                    std::to_string(view->tree()->meta().height) + ")\n";
   {
     MutexLock lock(views_mu_);
     open_views_[stmt.view] = std::move(view);
@@ -450,7 +451,7 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
   // Population of the predicate from the tree's internal-node counts,
   // plus the matching delta records.
   MSV_ASSIGN_OR_RETURN(uint64_t base_population,
-                       view->tree().EstimateMatchCount(query));
+                       view->tree()->EstimateMatchCount(query));
   MSV_ASSIGN_OR_RETURN(std::unique_ptr<core::ViewSampler> sampler,
                        view->Sample(query, ++next_seed_));
 
@@ -643,8 +644,8 @@ Result<std::string> Executor::ExecDropView(const DropViewStmt& stmt) {
     open_views_.erase(stmt.view);
   }
   MSV_RETURN_IF_ERROR(catalog_->DropView(stmt.view));
-  env_->DeleteFile("view." + stmt.view + ".base").IgnoreError();  // best-effort scratch cleanup
-  env_->DeleteFile("view." + stmt.view + ".delta").IgnoreError();  // best-effort scratch cleanup
+  core::MaterializedSampleView::DropFiles(env_, "view." + stmt.view)
+      .IgnoreError();  // best-effort file cleanup
   return "dropped view " + stmt.view + "\n";
 }
 

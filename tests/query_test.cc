@@ -306,10 +306,13 @@ TEST_F(ExecutorTest, CatalogPersistsAcrossSessions) {
 TEST_F(ExecutorTest, DropRemovesFiles) {
   Run("CREATE MATERIALIZED SAMPLE VIEW v AS SELECT * FROM sale "
       "INDEX ON day;");
-  EXPECT_TRUE(ValueOrDie(env_->FileExists("view.v.base")));
+  EXPECT_TRUE(ValueOrDie(env_->FileExists("view.v.base.g1")));
+  EXPECT_TRUE(ValueOrDie(env_->FileExists("view.v.manifest")));
   Run("DROP VIEW v;");
-  EXPECT_FALSE(ValueOrDie(env_->FileExists("view.v.base")));
-  EXPECT_FALSE(ValueOrDie(env_->FileExists("view.v.delta")));
+  // Every view file — base generations, runs, WALs, manifest — is gone.
+  for (const std::string& f : ValueOrDie(env_->ListFiles())) {
+    EXPECT_EQ(f.rfind("view.v.", 0), std::string::npos) << f;
+  }
   std::string out = Run("SHOW VIEWS;");
   EXPECT_NE(out.find("(no views)"), std::string::npos);
 }

@@ -12,6 +12,7 @@
 // (ParallelAceSampler) mode with identical assertions: the parallel
 // fan-out must not change any distributional property.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -23,12 +24,14 @@
 #include "core/ace_sampler.h"
 #include "core/ace_tree.h"
 #include "core/parallel_sampler.h"
+#include "core/sample_view.h"
 #include "gtest/gtest.h"
 #include "io/env.h"
 #include "relation/sale_generator.h"
 #include "sampling/online_aggregator.h"
 #include "storage/record.h"
 #include "test_util.h"
+#include "util/random.h"
 
 namespace msv::core {
 namespace {
@@ -211,6 +214,188 @@ TEST_P(StatisticalTest, OnlineAggregatorIsUnbiased) {
   EXPECT_NEAR(agg.Sum().value,
               agg.Avg().value * static_cast<double>(matching_ids_.size()),
               1e-6 * agg.Sum().value);
+}
+
+// ---------------------------------------------------------------------------
+// Unified ingest stream — the P-partition interleave over memtable, sorted
+// runs, and the ACE tree must preserve every property above: a prefix of
+// the unified stream is a uniform subset of ALL matching records regardless
+// of which layer currently holds them, and aggregates over it stay
+// unbiased. Each run builds a fresh view and replays the same insert
+// workload, so flush boundaries land mid-stream exactly as they would in
+// production.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kIngestBase = 1200;
+constexpr uint64_t kIngestExtra = 800;
+
+class IngestStatisticalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    layout_ = SaleRecord::Layout1D();
+
+    // Ground truth from the same deterministic generators every per-run
+    // view uses: a scan of the base relation plus a decode of the insert
+    // payload.
+    auto env = io::NewMemEnv();
+    msv::testing::MakeSale(env.get(), "sale", kIngestBase, /*seed=*/7);
+    auto heap = ValueOrDie(storage::HeapFile::Open(env.get(), "sale"));
+    auto scanner = heap->NewScanner();
+    for (uint64_t i = 0; i < heap->record_count(); ++i) {
+      SaleRecord r = SaleRecord::DecodeFrom(ValueOrDie(scanner.Next()));
+      if (Absorb(r)) ++base_matches_;
+    }
+    const std::string payload = InsertPayload();
+    for (uint64_t i = 0; i < kIngestExtra; ++i) {
+      Absorb(SaleRecord::DecodeFrom(payload.data() + i * SaleRecord::kSize));
+    }
+    ASSERT_GT(base_matches_, 400u);
+    ASSERT_GT(matching_ids_.size() - base_matches_, 250u);
+    true_avg_ = true_sum_ / static_cast<double>(matching_ids_.size());
+  }
+
+  bool Absorb(const SaleRecord& r) {
+    if (r.day < kQueryLo || r.day > kQueryHi) return false;
+    matching_ids_.insert(r.row_id);
+    true_sum_ += r.amount;
+    return true;
+  }
+
+  sampling::RangeQuery Query() const {
+    return sampling::RangeQuery::OneDim(kQueryLo, kQueryHi);
+  }
+
+  /// The fixed post-build workload: 800 records with row ids continuing
+  /// after the base, days spanning the full generator range.
+  std::string InsertPayload() const {
+    Pcg64 rng(17);
+    std::string out;
+    char buf[SaleRecord::kSize];
+    for (uint64_t i = 0; i < kIngestExtra; ++i) {
+      SaleRecord rec;
+      rec.day = rng.DoubleInRange(0, 100000);
+      rec.amount = rng.DoubleInRange(0, 10000);
+      rec.row_id = kIngestBase + i;
+      rec.EncodeTo(buf);
+      out.append(buf, sizeof(buf));
+    }
+    return out;
+  }
+
+  /// Fresh view over the fixed base, then the fixed workload inserted in
+  /// 50-record calls against a 150-record memtable: flushes fire after
+  /// records 150/300/450/600/750, leaving five sorted runs plus 50 live
+  /// memtable records. A prefix drawn here spans all three layers.
+  std::unique_ptr<MaterializedSampleView> MakeView(uint64_t build_seed) {
+    env_ = io::NewMemEnv();
+    msv::testing::MakeSale(env_.get(), "sale", kIngestBase, /*seed=*/7);
+    MaterializedSampleView::Options options;
+    options.build.page_size = 4096;
+    options.build.key_dims = 1;
+    options.build.seed = build_seed;
+    options.build.sort.memory_budget_bytes = 1 << 20;
+    options.ingest.memtable_max_records = 150;
+    options.ingest.background_compaction = false;
+    auto view = ValueOrDie(MaterializedSampleView::Create(env_.get(), "v",
+                                                          "sale", layout_,
+                                                          options));
+    const std::string payload = InsertPayload();
+    for (uint64_t off = 0; off < kIngestExtra; off += 50) {
+      MSV_EXPECT_OK(view->Insert(payload.data() + off * SaleRecord::kSize, 50));
+    }
+    return view;
+  }
+
+  std::unique_ptr<io::Env> env_;
+  storage::RecordLayout layout_;
+  std::set<uint64_t> matching_ids_;
+  uint64_t base_matches_ = 0;
+  double true_sum_ = 0.0;
+  double true_avg_ = 0.0;
+};
+
+TEST_F(IngestStatisticalTest, UnifiedDrainIsExactWithoutReplacement) {
+  auto view = MakeView(/*build_seed=*/99);
+  auto sampler = ValueOrDie(view->Sample(Query(), /*seed=*/11, base_matches_));
+  std::vector<uint64_t> ids = msv::testing::DrainRowIds(sampler.get());
+  EXPECT_TRUE(AllDistinct(ids));
+  EXPECT_EQ(std::set<uint64_t>(ids.begin(), ids.end()), matching_ids_);
+}
+
+TEST_F(IngestStatisticalTest, UnifiedPrefixIsUniformAcrossPartitions) {
+  // Same chi-square design as PrefixIsUniformOverMatchingRecords, but the
+  // matching population straddles the ACE tree (row ids < 1200) and the
+  // write path (ids >= 1200, split across five runs and the memtable).
+  // Rank buckets therefore cover every layer: any bias in the
+  // hypergeometric split — e.g. over-drawing the memtable — inflates chi2.
+  constexpr size_t kBuckets = 20;
+  constexpr size_t kPrefix = 50;
+  constexpr size_t kRuns = 40;
+
+  std::vector<uint64_t> sorted(matching_ids_.begin(), matching_ids_.end());
+  auto bucket_of = [&](uint64_t rid) {
+    size_t rank = std::lower_bound(sorted.begin(), sorted.end(), rid) -
+                  sorted.begin();
+    return std::min(kBuckets - 1, rank * kBuckets / sorted.size());
+  };
+
+  std::vector<uint64_t> counts(kBuckets, 0);
+  for (size_t run = 0; run < kRuns; ++run) {
+    auto view = MakeView(/*build_seed=*/2000 + run);
+    auto sampler =
+        ValueOrDie(view->Sample(Query(), /*seed=*/2000 + run, base_matches_));
+    std::vector<uint64_t> prefix =
+        msv::testing::TakeRowIds(sampler.get(), kPrefix);
+    ASSERT_GE(prefix.size(), kPrefix);
+    for (size_t i = 0; i < kPrefix; ++i) ++counts[bucket_of(prefix[i])];
+  }
+
+  const double total = static_cast<double>(kRuns * kPrefix);
+  double chi2 = 0.0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    size_t lo = b * sorted.size() / kBuckets;
+    size_t hi = (b + 1) * sorted.size() / kBuckets;
+    double expected = total * static_cast<double>(hi - lo) /
+                      static_cast<double>(sorted.size());
+    double diff = static_cast<double>(counts[b]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 43.8) << "unified sample prefix is not uniform";
+}
+
+TEST_F(IngestStatisticalTest, UnifiedAvgIsUnbiased) {
+  // 200 seeded runs of AVG over a 120-sample prefix of the unified
+  // stream; the mean of the estimates must land within four standard
+  // errors of the true average over base + inserted records.
+  constexpr size_t kRuns = 200;
+  constexpr uint64_t kTarget = 120;
+
+  std::vector<double> estimates;
+  estimates.reserve(kRuns);
+  for (size_t run = 0; run < kRuns; ++run) {
+    auto view = MakeView(/*build_seed=*/5000 + run);
+    auto sampler =
+        ValueOrDie(view->Sample(Query(), /*seed=*/5000 + run, base_matches_));
+    sampling::OnlineAggregator agg(
+        [](const char* rec) { return SaleRecord::DecodeFrom(rec).amount; },
+        matching_ids_.size());
+    while (!sampler->done() && agg.samples_seen() < kTarget) {
+      agg.Consume(ValueOrDie(sampler->NextBatch()));
+    }
+    ASSERT_GE(agg.samples_seen(), kTarget);
+    estimates.push_back(agg.Avg().value);
+  }
+
+  double mean = 0.0;
+  for (double e : estimates) mean += e;
+  mean /= static_cast<double>(kRuns);
+  double var = 0.0;
+  for (double e : estimates) var += (e - mean) * (e - mean);
+  var /= static_cast<double>(kRuns - 1);
+  double stderr_of_mean = std::sqrt(var / static_cast<double>(kRuns));
+
+  EXPECT_NEAR(mean, true_avg_, 4.0 * stderr_of_mean)
+      << "mean of " << kRuns << " unified AVG estimates is biased";
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, StatisticalTest,

@@ -187,9 +187,30 @@ void Render(const std::vector<Point>& points, size_t slow_rows) {
     }
   }
 
+  if (HasCounter(cur.root, "ingest.inserted_records")) {
+    std::printf("\ningest:\n");
+    std::printf("  %-22s %12.0f records\n", "memtable",
+                GaugeValue(cur.root, "ingest.memtable_records"));
+    std::printf("  %-22s %12.0f runs / %.0f records\n", "sorted runs",
+                GaugeValue(cur.root, "ingest.runs"),
+                GaugeValue(cur.root, "ingest.run_records"));
+    std::printf("  %-22s %12.0f records\n", "base tree",
+                GaugeValue(cur.root, "ingest.base_records"));
+    if (prev != nullptr) {
+      RenderRateRow("inserts", Delta(*prev, cur, "ingest.inserted_records"),
+                    dt_s);
+      RenderRateRow("flushes", Delta(*prev, cur, "ingest.flushes"), dt_s);
+      RenderRateRow("compactions", Delta(*prev, cur, "ingest.compactions"),
+                    dt_s);
+      RenderRateRow("compaction errors",
+                    Delta(*prev, cur, "ingest.compaction_errors"), dt_s);
+    }
+  }
+
   std::printf("\nlatency quantiles (lifetime):\n");
   for (const char* name :
-       {"query.statement_us", "io.disk.access_us", "serve.request_us"}) {
+       {"query.statement_us", "io.disk.access_us", "serve.request_us",
+        "ingest.flush_us", "ingest.compact_us"}) {
     const obs::Json* h = HistogramEntry(cur.root, name);
     if (h == nullptr) continue;
     const obs::Json* count = h->Find("count");
