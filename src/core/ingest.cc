@@ -46,6 +46,7 @@ std::vector<const char*> Memtable::SortedRecords(
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(io::Env* env,
                                                    const std::string& name,
+                                                   size_t record_size,
                                                    bool sync_each_append) {
   MSV_ASSIGN_OR_RETURN(bool existed, env->FileExists(name));
   MSV_ASSIGN_OR_RETURN(std::unique_ptr<io::File> file,
@@ -57,8 +58,17 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(io::Env* env,
     // its id as live.
     MSV_RETURN_IF_ERROR(env->SyncDir());
   }
+  const uint64_t whole = (size / record_size) * record_size;
+  if (whole != size) {
+    // Torn tail from a crash mid-append. Replay already ignores it, but
+    // appending after the garbage would misalign every later record on
+    // the *next* replay — truncate to the last whole-record boundary and
+    // make the repair durable before anything lands after it.
+    MSV_RETURN_IF_ERROR(file->Truncate(whole));
+    MSV_RETURN_IF_ERROR(file->Sync());
+  }
   return std::unique_ptr<WalWriter>(
-      new WalWriter(std::move(file), size, sync_each_append));
+      new WalWriter(std::move(file), whole, sync_each_append));
 }
 
 Status WalWriter::Append(const char* records, size_t record_size,

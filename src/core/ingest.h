@@ -92,9 +92,13 @@ class Memtable {
 class WalWriter {
  public:
   /// Opens `name` for appending, creating it (and making the creation
-  /// directory-durable) when missing.
+  /// directory-durable) when missing. A torn tail — a trailing partial
+  /// record left by a crash mid-append — is truncated away (and the
+  /// repair synced) before the first new append, so record boundaries
+  /// stay aligned across any number of crash/replay cycles.
   static Result<std::unique_ptr<WalWriter>> Open(io::Env* env,
                                                  const std::string& name,
+                                                 size_t record_size,
                                                  bool sync_each_append);
 
   /// Appends `count` records; with sync_each_append the records are

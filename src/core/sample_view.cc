@@ -145,6 +145,8 @@ MaterializedSampleView::MaterializedSampleView(io::Env* env, std::string name,
           "ingest.compacted_records")),
       c_compaction_errors_(obs::MetricRegistry::Global().GetCounter(
           "ingest.compaction_errors")),
+      c_flush_errors_(obs::MetricRegistry::Global().GetCounter(
+          "ingest.flush_errors")),
       c_wal_bytes_(
           obs::MetricRegistry::Global().GetCounter("ingest.wal_bytes")),
       g_memtable_records_(obs::MetricRegistry::Global().GetGauge(
@@ -186,6 +188,7 @@ Result<std::unique_ptr<MaterializedSampleView>> MaterializedSampleView::Create(
         std::make_unique<Memtable>(memtable_id, layout.record_size);
     MSV_ASSIGN_OR_RETURN(view->wal_,
                          WalWriter::Open(env, view->WalName(memtable_id),
+                                         layout.record_size,
                                          options.ingest.sync_wal));
     view->UpdateGaugesLocked();
   }
@@ -277,6 +280,7 @@ Status MaterializedSampleView::RecoverLocked() {
     memtable_ = std::make_unique<Memtable>(memtable_id, layout_.record_size);
   }
   MSV_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, WalName(memtable_id),
+                                             layout_.record_size,
                                              options_.ingest.sync_wal));
 
   if (dirty) {
@@ -402,13 +406,23 @@ Status MaterializedSampleView::Insert(const char* records, size_t count) {
   memtable_->Append(records, count);
   c_inserted_records_->Add(count);
   c_wal_bytes_->Add(count * layout_.record_size);
-  Status st = Status::OK();
   if (memtable_->count() >= options_.ingest.memtable_max_records) {
-    st = FlushLocked();
+    // Once the records are WAL-durable and memtable-visible the insert
+    // has succeeded; an inline flush failure must not be surfaced as
+    // "insert failed" — a caller retrying on that error would duplicate
+    // records. The failure is counted and logged, the memtable stays
+    // intact, and the flush retries at the next threshold crossing (or
+    // an explicit Flush(), which does report errors).
+    Status flushed = FlushLocked();
+    if (!flushed.ok()) {
+      c_flush_errors_->Add(1);
+      MSV_LOG(Warn) << "view " << name_
+                    << " inline flush: " << flushed.ToString();
+    }
   }
   UpdateGaugesLocked();
   if (CompactionTriggeredLocked()) cv_.SignalAll();
-  return st;
+  return Status::OK();
 }
 
 Status MaterializedSampleView::Flush() {
@@ -423,28 +437,54 @@ Status MaterializedSampleView::FlushLocked() {
   if (memtable_->empty()) return Status::OK();
   const uint64_t start_us = obs::WallTimeUs();
   const uint64_t run_id = memtable_->id();
-  MSV_RETURN_IF_ERROR(WriteRunFile(env_, RunName(run_id), layout_.record_size,
-                                   memtable_->SortedRecords(layout_)));
-  // Manifest commit: the run becomes live and its WAL dead in one atomic
-  // step. A crash before this replays the WAL; after it, opens the run.
-  ViewManifest m = CurrentManifestLocked();
-  m.runs.push_back(run_id);
-  m.flushed_through = run_id;
   const uint64_t new_memtable_id = next_id_;
-  m.next_id = new_memtable_id + 1;
-  Status saved = SaveManifest(env_, ManifestName(), m);
-  if (!saved.ok()) {
+
+  // Every fallible step is staged before the commit point: run written
+  // and opened, next WAL created. A failure anywhere backs out with the
+  // old memtable, WAL and manifest fully intact, and after the manifest
+  // commits nothing below can fail — so the committed run is never
+  // missing from runs_ and wal_ is never left null.
+  std::shared_ptr<storage::HeapFile> run_file;
+  std::unique_ptr<WalWriter> new_wal;
+  auto stage = [&]() -> Status {
+    MSV_RETURN_IF_ERROR(WriteRunFile(env_, RunName(run_id),
+                                     layout_.record_size,
+                                     memtable_->SortedRecords(layout_)));
+    MSV_ASSIGN_OR_RETURN(run_file,
+                         storage::HeapFile::Open(env_, RunName(run_id)));
+    // The next memtable's WAL is created pre-commit on purpose: if we
+    // crash here, recovery sees an empty WAL newer than flushed_through
+    // and replays zero records from it — harmless.
+    MSV_ASSIGN_OR_RETURN(new_wal,
+                         WalWriter::Open(env_, WalName(new_memtable_id),
+                                         layout_.record_size,
+                                         options_.ingest.sync_wal));
+    // Manifest commit: the run becomes live and its WAL dead in one
+    // atomic step. A crash before this replays the WAL; after it, opens
+    // the run.
+    ViewManifest m = CurrentManifestLocked();
+    m.runs.push_back(run_id);
+    m.flushed_through = run_id;
+    m.next_id = new_memtable_id + 1;
+    return SaveManifest(env_, ManifestName(), m);
+  };
+  Status staged = stage();
+  if (!staged.ok()) {
     env_->DeleteFile(RunName(run_id)).IgnoreError();
-    return saved;
+    if (new_wal != nullptr) {
+      new_wal.reset();
+      env_->DeleteFile(WalName(new_memtable_id)).IgnoreError();
+    }
+    return staged;
   }
+
   flushed_through_ = run_id;
   next_id_ = new_memtable_id + 1;
   memtable_ = std::make_unique<Memtable>(new_memtable_id, layout_.record_size);
-  wal_.reset();
-  env_->DeleteFile(WalName(run_id)).IgnoreError();
-  MSV_RETURN_IF_ERROR(OpenRunLocked(run_id));
-  MSV_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, WalName(new_memtable_id),
-                                             options_.ingest.sync_wal));
+  wal_ = std::move(new_wal);
+  run_records_ += run_file->record_count();
+  runs_.push_back(RunHandle{run_id, std::move(run_file)});
+  env_->DeleteFile(WalName(run_id)).IgnoreError();  // dead per the manifest
   c_flushes_->Add(1);
   h_flush_us_->Record(obs::WallTimeUs() - start_us);
   return Status::OK();
@@ -697,14 +737,30 @@ Result<std::unique_ptr<ViewSampler>> MaterializedSampleView::Sample(
     const sampling::RangeQuery& query, uint64_t seed,
     std::optional<uint64_t> exact_base_count) const {
   MSV_RETURN_IF_ERROR(query.Validate(layout_));
-  MutexLock lock(mu_);
 
-  // Snapshot the in-memory partitions under the lock: each run's and the
-  // memtable's matching records, oldest partition first. Runs are small
-  // by design (bounded by compaction), so scanning them here is cheap.
+  // Under the lock, take only a consistent snapshot: the tree handle,
+  // shared run handles, and a copy of the memtable's matches (the
+  // memtable mutates under mu_, but it is small — bounded by the flush
+  // threshold). The runs themselves are scanned after release.
+  std::shared_ptr<const AceTree> tree;
+  std::vector<RunHandle> runs;
+  ViewSampler::ExactPartition memtable_matches;
+  {
+    MutexLock lock(mu_);
+    tree = tree_;
+    runs = runs_;
+    if (memtable_ != nullptr) {
+      memtable_->CollectMatches(layout_, query, &memtable_matches.records);
+    }
+  }
+
+  // Scan the runs without mu_ held, so a sampler over large or many runs
+  // never stalls Insert/Flush for the scan duration. Runs are immutable,
+  // and the shared handles keep a concurrently compacted-away run
+  // readable. Partition order: runs oldest first, then the memtable.
   std::vector<ViewSampler::ExactPartition> exact;
-  exact.reserve(runs_.size() + 1);
-  for (const RunHandle& run : runs_) {
+  exact.reserve(runs.size() + 1);
+  for (const RunHandle& run : runs) {
     ViewSampler::ExactPartition p;
     auto scanner = run.file->NewScanner();
     for (;;) {
@@ -716,24 +772,18 @@ Result<std::unique_ptr<ViewSampler>> MaterializedSampleView::Sample(
     }
     exact.push_back(std::move(p));
   }
-  {
-    ViewSampler::ExactPartition p;
-    if (memtable_ != nullptr) {
-      memtable_->CollectMatches(layout_, query, &p.records);
-    }
-    exact.push_back(std::move(p));
-  }
+  exact.push_back(std::move(memtable_matches));
 
   uint64_t base_estimate;
   bool base_exact = exact_base_count.has_value();
   if (base_exact) {
     base_estimate = *exact_base_count;
   } else {
-    MSV_ASSIGN_OR_RETURN(base_estimate, tree_->EstimateMatchCount(query));
+    MSV_ASSIGN_OR_RETURN(base_estimate, tree->EstimateMatchCount(query));
   }
-  auto base = std::make_unique<AceSampler>(tree_.get(), query, seed);
+  auto base = std::make_unique<AceSampler>(tree.get(), query, seed);
   return std::unique_ptr<ViewSampler>(new ViewSampler(
-      tree_, std::move(base), base_estimate, base_exact, std::move(exact),
+      tree, std::move(base), base_estimate, base_exact, std::move(exact),
       layout_.record_size, seed ^ 0x9e3779b97f4a7c15ULL, 64));
 }
 

@@ -142,7 +142,12 @@ class MaterializedSampleView {
 
   /// Appends new records (record_size bytes each). Durable (WAL) and
   /// visible to samplers created afterwards when this returns OK. May
-  /// flush the memtable inline when it reaches its threshold.
+  /// flush the memtable inline when it reaches its threshold; an inline
+  /// flush failure does NOT fail the insert (the records are already
+  /// durable — failing here would invite a duplicating retry). It is
+  /// counted in ingest.flush_errors and retried on the next crossing.
+  /// An error return means the records were not acknowledged durable and
+  /// it is safe to retry the batch.
   Status Insert(const char* records, size_t count) MSV_EXCLUDES(mu_);
 
   /// Flushes the memtable (if non-empty) to an immutable sorted run.
@@ -271,6 +276,7 @@ class MaterializedSampleView {
   obs::Counter* const c_compactions_;
   obs::Counter* const c_compacted_records_;
   obs::Counter* const c_compaction_errors_;
+  obs::Counter* const c_flush_errors_;
   obs::Counter* const c_wal_bytes_;
   obs::Gauge* const g_memtable_records_;
   obs::Gauge* const g_run_count_;

@@ -18,6 +18,7 @@
 #include "gtest/gtest.h"
 #include "io/env.h"
 #include "io/fault_env.h"
+#include "obs/metrics.h"
 #include "storage/heap_file.h"
 #include "storage/record.h"
 #include "test_util.h"
@@ -340,6 +341,42 @@ TEST_F(IngestTest, TornWalTailIsDropped) {
   EXPECT_EQ(view_->memtable_records(), 30u);  // whole records only
 }
 
+TEST_F(IngestTest, InsertAfterTornTailRecoveryStaysAligned) {
+  // A torn tail must be physically truncated at recovery, not just
+  // skipped by replay: otherwise post-recovery inserts append after the
+  // garbage bytes and a *second* replay reads every later record at a
+  // misaligned offset, corrupting acknowledged inserts.
+  std::string batch = MakeInserts(30);
+  MSV_ASSERT_OK(view_->Insert(batch.data(), 30));
+  view_.reset();
+  std::string wal_name;
+  for (const std::string& f : ValueOrDie(env_->ListFiles())) {
+    if (f.rfind("v.wal.", 0) == 0) wal_name = f;
+  }
+  ASSERT_FALSE(wal_name.empty());
+  {
+    auto wal = ValueOrDie(env_->OpenFile(wal_name, /*create=*/false));
+    uint64_t size = ValueOrDie(wal->Size());
+    const char torn[] = "torn-partial-record";
+    MSV_ASSERT_OK(wal->Write(size, torn, sizeof(torn)));
+  }
+
+  view_ = ValueOrDie(
+      MaterializedSampleView::Open(env_.get(), "v", layout_, options_));
+  EXPECT_EQ(view_->memtable_records(), 30u);
+  std::string more = MakeInserts(25);
+  MSV_ASSERT_OK(view_->Insert(more.data(), 25));
+
+  // Second crash/replay: all 55 records must come back whole and intact.
+  view_.reset();
+  view_ = ValueOrDie(
+      MaterializedSampleView::Open(env_.get(), "v", layout_, options_));
+  EXPECT_EQ(view_->memtable_records(), 55u);
+  std::vector<uint64_t> ids = DrainAll();
+  EXPECT_TRUE(AllDistinct(ids));
+  EXPECT_EQ(std::set<uint64_t>(ids.begin(), ids.end()), ExpectedIds());
+}
+
 TEST_F(IngestTest, LegacyViewLayoutMigratesOnOpen) {
   // Fabricate the pre-manifest format: `<name>.base` tree + `<name>.delta`
   // heap file, no manifest.
@@ -376,6 +413,74 @@ TEST_F(IngestTest, DropFilesRemovesEveryViewFile) {
   for (const std::string& f : ValueOrDie(env_->ListFiles())) {
     EXPECT_EQ(f.rfind("v.", 0), std::string::npos) << f;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Failed-flush isolation (fault injection)
+// ---------------------------------------------------------------------------
+
+TEST(IngestFaultTest, InlineFlushFailureDoesNotFailAcknowledgedInsert) {
+  auto inner = io::NewMemEnv();
+  MakeSale(inner.get(), "sale", 400, /*seed=*/7);
+  const storage::RecordLayout layout = SaleRecord::Layout1D();
+  MaterializedSampleView::Options options = SmallViewOptions();
+  options.ingest.memtable_max_records = 64;
+  {
+    // Create durably, then reopen behind the fault env.
+    auto created = ValueOrDie(MaterializedSampleView::Create(
+        inner.get(), "v", "sale", layout, options));
+  }
+  auto fenv = io::NewFaultInjectionEnv(inner.get());
+  auto view = ValueOrDie(
+      MaterializedSampleView::Open(fenv.get(), "v", layout, options));
+
+  auto make_batch = [&](uint64_t n, uint64_t first) {
+    Pcg64 rng(19 + first);
+    std::string out;
+    char buf[SaleRecord::kSize];
+    for (uint64_t i = 0; i < n; ++i) {
+      SaleRecord rec;
+      rec.day = rng.DoubleInRange(0, 100000.0);
+      rec.amount = rng.DoubleInRange(0, 10000.0);
+      rec.row_id = 400 + first + i;
+      rec.EncodeTo(buf);
+      out.append(buf, sizeof(buf));
+    }
+    return out;
+  };
+
+  // Fill to one record short of the flush threshold.
+  std::string head = make_batch(63, 0);
+  MSV_ASSERT_OK(view->Insert(head.data(), 63));
+  EXPECT_EQ(view->run_count(), 0u);
+
+  // The threshold-crossing insert's WAL append is ops N (write) and N+1
+  // (sync); the one-shot fault lands on the first operation of the
+  // inline flush. The records are WAL-durable by then, so the insert is
+  // acknowledged even though the flush dies.
+  auto* flush_errors =
+      obs::MetricRegistry::Global().GetCounter("ingest.flush_errors");
+  const uint64_t errors_before = flush_errors->Value();
+  fenv->ArmFault(fenv->op_count() + 2, io::FaultMode::kError,
+                 /*sticky=*/false);
+  std::string tail = make_batch(1, 63);
+  MSV_ASSERT_OK(view->Insert(tail.data(), 1));
+  EXPECT_TRUE(fenv->fault_fired());
+  EXPECT_EQ(flush_errors->Value(), errors_before + 1);
+  EXPECT_EQ(view->memtable_records(), 64u);  // flush backed out whole
+  EXPECT_EQ(view->run_count(), 0u);
+
+  // The view stays fully usable — the live WAL still accepts inserts,
+  // and the flush retries at the next threshold crossing and succeeds.
+  std::string more = make_batch(5, 64);
+  MSV_ASSERT_OK(view->Insert(more.data(), 5));
+  EXPECT_EQ(view->memtable_records(), 0u);
+  EXPECT_EQ(view->run_count(), 1u);
+
+  auto sampler = ValueOrDie(view->Sample(AllDays(), 77));
+  std::vector<uint64_t> ids = msv::testing::DrainRowIds(sampler.get());
+  EXPECT_TRUE(AllDistinct(ids));
+  EXPECT_EQ(ids.size(), 400u + 69u);
 }
 
 // ---------------------------------------------------------------------------

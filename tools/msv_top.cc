@@ -200,6 +200,8 @@ void Render(const std::vector<Point>& points, size_t slow_rows) {
       RenderRateRow("inserts", Delta(*prev, cur, "ingest.inserted_records"),
                     dt_s);
       RenderRateRow("flushes", Delta(*prev, cur, "ingest.flushes"), dt_s);
+      RenderRateRow("flush errors",
+                    Delta(*prev, cur, "ingest.flush_errors"), dt_s);
       RenderRateRow("compactions", Delta(*prev, cur, "ingest.compactions"),
                     dt_s);
       RenderRateRow("compaction errors",
