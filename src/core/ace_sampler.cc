@@ -195,6 +195,10 @@ void AceSampler::EmitLevelSpans() {
   }
   span_.AddAttr("leaves_read", leaves_read_);
   span_.AddAttr("samples", returned_);
+  // Block capacity of the combiner's per-query arena (DESIGN.md §15):
+  // tracks the high-water mark of buffered-record bytes.
+  span_.AddAttr("arena_bytes",
+                static_cast<uint64_t>(combiner_->arena_bytes()));
   span_.End();
 }
 

@@ -276,7 +276,7 @@ InvariantReport AceTree::CheckInvariants(
     Result<LeafData> data_or = ReadLeaf(leaf);
     if (!data_or.ok()) {
       sink.Add(data_or.status().code(), leaf,
-               std::string(data_or.status().message()));
+               std::string(data_or.status().message()));  // NOLINT(msv-hot-path-alloc) scrubber error path, cold
       continue;
     }
     const LeafData& data = data_or.value();

@@ -1,5 +1,7 @@
 #include "core/combine_engine.h"
 
+#include <cstring>
+
 #include "core/split_tree.h"
 #include "util/logging.h"
 
@@ -25,17 +27,54 @@ CombineEngine::CombineEngine(const storage::RecordLayout* layout,
   }
 }
 
-void CombineEngine::EmitShuffled(std::string&& records,
-                                 sampling::SampleBatch* out,
-                                 Pcg64* rng) const {
-  size_t n = records.size() / record_size_;
-  if (n == 0) return;
-  std::vector<uint32_t> order(n);
-  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
-  Shuffle(&order, rng);
-  for (uint32_t idx : order) {
-    out->Append(records.data() + static_cast<size_t>(idx) * record_size_);
+storage::RecordSpan CombineEngine::FilterSection(const std::string& raw) {
+  const size_t count = raw.size() / record_size_;
+  if (count == 0) return storage::RecordSpan{};
+  if (scratch_idx_.size() < count) scratch_idx_.resize(count);
+  const size_t matches =
+      query_.MatchBatch(*layout_, raw.data(), count, scratch_idx_.data());
+  if (matches == 0) return storage::RecordSpan{};
+  // One arena slab per contribution; matching records are copied exactly
+  // once and referenced as zero-copy spans from then on.
+  char* dst = arena_.Allocate(matches * record_size_, alignof(double));
+  if (matches == count) {
+    // Fully covered section (common at coarse levels): one straight copy.
+    std::memcpy(dst, raw.data(), count * record_size_);
+  } else {
+    char* out = dst;
+    for (size_t i = 0; i < matches; ++i) {
+      std::memcpy(out,
+                  raw.data() +
+                      static_cast<size_t>(scratch_idx_[i]) * record_size_,
+                  record_size_);
+      out += record_size_;
+    }
   }
+  return storage::RecordSpan{dst, matches};
+}
+
+void CombineEngine::EmitShuffled(const std::vector<storage::RecordSpan>& spans,
+                                 sampling::SampleBatch* out, Pcg64* rng) {
+  size_t n = 0;
+  for (const storage::RecordSpan& s : spans) n += s.count;
+  if (n == 0) return;
+  // Flatten to per-record pointers in covering-node order — the same
+  // logical concatenation the string path materialized — then shuffle
+  // index order with the identical rng consumption (one Below per swap,
+  // a function of n only) and gather into the pre-sized output.
+  scratch_recs_.clear();
+  scratch_recs_.reserve(n);
+  for (const storage::RecordSpan& s : spans) {
+    const char* rec = s.data;
+    for (size_t i = 0; i < s.count; ++i, rec += record_size_) {
+      scratch_recs_.push_back(rec);
+    }
+  }
+  scratch_order_.resize(n);
+  for (size_t i = 0; i < n; ++i) scratch_order_[i] = static_cast<uint32_t>(i);
+  Shuffle(&scratch_order_, rng);
+  out->Reserve(n);
+  for (uint32_t idx : scratch_order_) out->Append(scratch_recs_[idx]);
 }
 
 void CombineEngine::AddLeaf(uint64_t leaf_heap_id, const LeafData& leaf,
@@ -51,55 +90,58 @@ void CombineEngine::AddLeaf(uint64_t leaf_heap_id, const LeafData& leaf,
       continue;
     }
     // Filter the section against the query now (the paper buffers only
-    // records matching the predicate, Sec. 8.2 / Fig. 15).
-    std::string filtered;
-    const std::string& raw = leaf.sections[level - 1];
-    size_t count = raw.size() / record_size_;
-    for (size_t r = 0; r < count; ++r) {
-      const char* rec = raw.data() + r * record_size_;
-      if (query_.Matches(*layout_, rec)) {
-        filtered.append(rec, record_size_);
-      }
-    }
-    buffered_ += filtered.size() / record_size_;
-    std::deque<std::string>& queue = state.queues[it->second];
+    // records matching the predicate, Sec. 8.2 / Fig. 15) with the
+    // batched branch-free kernel; the surviving records live in the
+    // per-query arena until their round emits.
+    storage::RecordSpan filtered = FilterSection(leaf.sections[level - 1]);
+    buffered_ += filtered.count;
+    std::deque<storage::RecordSpan>& queue = state.queues[it->second];
     if (queue.empty()) ++state.nonempty;
-    queue.push_back(std::move(filtered));
+    queue.push_back(filtered);
 
     // Emit complete rounds: one contribution per covering node. (A
     // contribution may be empty after filtering — it still counts, since
     // rounds are about *leaf sections consumed*, not records.)
     while (state.nonempty == state.queues.size()) {
-      std::string round;
-      for (std::deque<std::string>& q : state.queues) {
-        round += q.front();
+      scratch_round_.clear();
+      for (std::deque<storage::RecordSpan>& q : state.queues) {
+        scratch_round_.push_back(q.front());
         q.pop_front();
         if (q.empty()) --state.nonempty;
       }
-      buffered_ -= round.size() / record_size_;
+      uint64_t round_records = 0;
+      for (const storage::RecordSpan& s : scratch_round_) {
+        round_records += s.count;
+      }
+      buffered_ -= round_records;
       ++state.rounds;
-      state.emitted += round.size() / record_size_;
-      EmitShuffled(std::move(round), out, rng);
+      state.emitted += round_records;
+      EmitShuffled(scratch_round_, out, rng);
     }
   }
+  // Fully drained: no queued span references the arena any more (empty
+  // contributions carry no bytes), so rewind it. This caps arena growth
+  // at the high-water mark of simultaneously buffered records.
+  if (buffered_ == 0) arena_.Reset();
 }
 
 void CombineEngine::Flush(sampling::SampleBatch* out, Pcg64* rng) {
-  std::string rest;
+  scratch_round_.clear();
   for (LevelState& state : levels_) {
-    size_t level_bytes = 0;
-    for (std::deque<std::string>& q : state.queues) {
+    uint64_t level_records = 0;
+    for (std::deque<storage::RecordSpan>& q : state.queues) {
       while (!q.empty()) {
-        level_bytes += q.front().size();
-        rest += q.front();
+        level_records += q.front().count;
+        scratch_round_.push_back(q.front());
         q.pop_front();
       }
     }
-    state.emitted += level_bytes / record_size_;
+    state.emitted += level_records;
     state.nonempty = 0;
   }
   buffered_ = 0;
-  EmitShuffled(std::move(rest), out, rng);
+  EmitShuffled(scratch_round_, out, rng);
+  arena_.Reset();
 }
 
 }  // namespace msv::core

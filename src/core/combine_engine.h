@@ -17,13 +17,21 @@
 // experiment) until the final flush, which runs only when every relevant
 // leaf has been consumed — at that point the output is the complete match
 // set and unbiasedness is trivial.
+//
+// CPU hot path (DESIGN.md §15): sections are filtered with the batched
+// branch-free RangeQuery::MatchBatch kernel instead of a per-record
+// Matches call, matching records are copied once into a per-query bump
+// arena, and everything queued/emitted from then on is a zero-copy
+// {ptr,count} RecordSpan — no per-section std::string, no round
+// concatenation, no reallocating per-record appends. The arena rewinds
+// whenever the buffers fully drain, so held memory tracks the high-water
+// mark of *buffered* records, as the string version's live bytes did.
 
 #ifndef MSV_CORE_COMBINE_ENGINE_H_
 #define MSV_CORE_COMBINE_ENGINE_H_
 
 #include <cstdint>
 #include <deque>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +39,8 @@
 #include "sampling/range_query.h"
 #include "sampling/sample_stream.h"
 #include "storage/record.h"
+#include "storage/record_view.h"
+#include "util/arena.h"
 #include "util/random.h"
 
 namespace msv::core {
@@ -63,19 +73,31 @@ class CombineEngine {
   /// final flush. Drives the per-level sample-progress trace spans.
   uint64_t emitted(uint32_t level) const { return levels_[level - 1].emitted; }
 
+  /// Block capacity held by the per-query arena (diagnostics).
+  size_t arena_bytes() const { return arena_.bytes_reserved(); }
+
  private:
   struct LevelState {
     /// queue index by covering-node heap id.
     std::unordered_map<uint64_t, size_t> node_pos;
-    /// One FIFO of filtered section blobs per covering node.
-    std::vector<std::deque<std::string>> queues;
+    /// One FIFO of filtered, arena-resident section spans per covering
+    /// node. Spans may be empty — rounds count sections, not records.
+    std::vector<std::deque<storage::RecordSpan>> queues;
     size_t nonempty = 0;
     uint64_t rounds = 0;
     uint64_t emitted = 0;  ///< records emitted from this level
   };
 
-  void EmitShuffled(std::string&& records, sampling::SampleBatch* out,
-                    Pcg64* rng) const;
+  /// Emits `spans` (already in covering-node order) shuffled into `out`,
+  /// consuming `rng` exactly as the historical string-concatenation path
+  /// did: one Shuffle over the round's record count. Uses scratch_*
+  /// members, hence non-const.
+  void EmitShuffled(const std::vector<storage::RecordSpan>& spans,
+                    sampling::SampleBatch* out, Pcg64* rng);
+
+  /// Filters one leaf section with the batched kernel and copies the
+  /// matching records into the arena; returns the resulting span.
+  storage::RecordSpan FilterSection(const std::string& raw);
 
   const storage::RecordLayout* layout_;
   sampling::RangeQuery query_;
@@ -83,6 +105,17 @@ class CombineEngine {
   uint32_t height_;
   std::vector<LevelState> levels_;
   uint64_t buffered_ = 0;
+
+  /// Per-query allocator backing every queued span; rewound whenever the
+  /// engine drains (buffered_ == 0, no live spans reference it).
+  util::Arena arena_;
+  /// Reusable scratch: match indices from the kernel, the spans of the
+  /// round being emitted, and the flattened per-record pointers fed to
+  /// the shuffle.
+  std::vector<uint32_t> scratch_idx_;
+  std::vector<storage::RecordSpan> scratch_round_;
+  std::vector<const char*> scratch_recs_;
+  std::vector<uint32_t> scratch_order_;
 };
 
 }  // namespace msv::core

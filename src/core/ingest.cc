@@ -175,7 +175,7 @@ Result<ViewManifest> LoadManifest(io::Env* env, const std::string& file) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream fields(line);
-    std::string kind;
+    std::string kind;  // NOLINT(msv-hot-path-alloc) manifest parse, recovery-time cold path
     fields >> kind;
     if (kind == "base") {
       fields >> m.base_file;

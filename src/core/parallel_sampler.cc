@@ -131,6 +131,9 @@ void ParallelAceSampler::EmitLevelSpans() {
   }
   span_.AddAttr("leaves_read", leaves_read_);
   span_.AddAttr("samples", returned_);
+  // Block capacity of the combiner's per-query arena (DESIGN.md §15).
+  span_.AddAttr("arena_bytes",
+                static_cast<uint64_t>(combiner_->arena_bytes()));
   span_.End();
 }
 

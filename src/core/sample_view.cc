@@ -250,7 +250,7 @@ Status MaterializedSampleView::RecoverLocked() {
   std::sort(wal_ids.begin(), wal_ids.end());
   for (size_t i = 0; i + 1 < wal_ids.size(); ++i) {
     const uint64_t id = wal_ids[i];
-    MSV_ASSIGN_OR_RETURN(std::string data,
+    MSV_ASSIGN_OR_RETURN(std::string data,  // NOLINT(msv-hot-path-alloc) WAL replay, recovery-time cold path
                          ReadWal(env_, WalName(id), layout_.record_size));
     const uint64_t n = data.size() / layout_.record_size;
     if (n > 0) {
@@ -333,7 +333,7 @@ Status MaterializedSampleView::CleanOrphansLocked() {
   for (const RunHandle& run : runs_) live_runs.insert(run.id);
   for (const std::string& f : files) {
     if (f.rfind(prefix, 0) != 0) continue;
-    const std::string suffix = f.substr(prefix.size());
+    const std::string suffix = f.substr(prefix.size());  // NOLINT(msv-hot-path-alloc) file GC scan, cold
     bool drop = false;
     uint64_t id = 0;
     if (suffix.size() > 4 && suffix.compare(suffix.size() - 4, 4, ".tmp") == 0) {
@@ -361,7 +361,7 @@ Status MaterializedSampleView::DropFiles(io::Env* env,
   const std::string prefix = name + ".";
   for (const std::string& f : files) {
     if (f.rfind(prefix, 0) != 0) continue;
-    const std::string suffix = f.substr(prefix.size());
+    const std::string suffix = f.substr(prefix.size());  // NOLINT(msv-hot-path-alloc) file listing scan, cold
     uint64_t id = 0;
     bool ours =
         suffix == "manifest" || suffix == "base" || suffix == "delta" ||

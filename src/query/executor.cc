@@ -31,6 +31,20 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+/// Compiles a schema column reference down to the inlineable accessor the
+/// aggregators consume batches through (offset + kind; no per-record
+/// std::function dispatch). nullptr means COUNT-style "1 per record".
+storage::FieldAccessor AccessorFor(const Column* column) {
+  if (column == nullptr) return storage::FieldAccessor::ConstOne();
+  switch (column->type) {
+    case ColumnType::kDouble:
+      return storage::FieldAccessor::Double(column->offset);
+    case ColumnType::kUint64:
+      return storage::FieldAccessor::Uint64(column->offset);
+  }
+  return storage::FieldAccessor::ConstOne();
+}
+
 const char* StatementName(const Statement& statement) {
   return std::visit(
       [](const auto& stmt) -> const char* {
@@ -463,14 +477,9 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
     if (group_column->type != ColumnType::kUint64) {
       return Status::NotSupported("GROUP BY needs an integer column");
     }
-    sampling::GroupedAggregator agg(
-        [&schema, group_column](const char* rec) {
-          return static_cast<uint64_t>(schema.Value(rec, *group_column));
-        },
-        [&schema, column](const char* rec) {
-          return column != nullptr ? schema.Value(rec, *column) : 1.0;
-        },
-        base_population, stmt.confidence);
+    sampling::GroupedAggregator agg(AccessorFor(group_column),
+                                    AccessorFor(column), base_population,
+                                    stmt.confidence);
     bool deadline_hit = false;
     while (!sampler->done() && agg.samples_seen() < target) {
       MSV_ASSIGN_OR_RETURN(sampling::SampleBatch batch, sampler->NextBatch());
@@ -539,11 +548,8 @@ Result<std::string> Executor::ExecEstimate(const EstimateStmt& stmt) {
     return out.str();
   }
 
-  sampling::OnlineAggregator agg(
-      [&schema, column](const char* rec) {
-        return schema.Value(rec, *column);
-      },
-      base_population, stmt.confidence);
+  sampling::OnlineAggregator agg(AccessorFor(column), base_population,
+                                 stmt.confidence);
   // The stopping rule is checked once per batch: a deadline can overshoot
   // by at most one batch's cost, an error bound by one batch of samples.
   auto verdict = sampling::StoppingRule::Verdict::kContinue;

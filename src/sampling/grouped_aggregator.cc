@@ -6,6 +6,15 @@
 
 namespace msv::sampling {
 
+GroupedAggregator::GroupedAggregator(storage::FieldAccessor group_acc,
+                                     storage::FieldAccessor value_acc,
+                                     uint64_t population, double confidence)
+    : group_acc_(group_acc),
+      value_acc_(value_acc),
+      use_accessors_(true),
+      population_(population),
+      z_(NormalCriticalValue(confidence)) {}
+
 GroupedAggregator::GroupedAggregator(
     std::function<uint64_t(const char*)> group_fn,
     std::function<double(const char*)> expression, uint64_t population,
@@ -15,15 +24,29 @@ GroupedAggregator::GroupedAggregator(
       population_(population),
       z_(NormalCriticalValue(confidence)) {}
 
+void GroupedAggregator::Fold(uint64_t group, double x) {
+  GroupStats& g = groups_[group];
+  ++g.n;
+  g.sum += x;
+  g.sumsq += x * x;
+  ++n_;
+}
+
 void GroupedAggregator::Consume(const SampleBatch& batch) {
-  for (size_t i = 0; i < batch.count(); ++i) {
-    const char* rec = batch.record(i);
-    GroupStats& g = groups_[group_fn_(rec)];
-    double x = expression_(rec);
-    ++g.n;
-    g.sum += x;
-    g.sumsq += x * x;
-    ++n_;
+  const size_t n = batch.count();
+  if (use_accessors_) {
+    // Compiled accessors: both loads inline, so the per-record cost is
+    // the map probe and the three accumulator updates.
+    const char* rec = batch.data.data();
+    const size_t record_size = batch.record_size;
+    for (size_t i = 0; i < n; ++i, rec += record_size) {
+      Fold(group_acc_.LoadU64(rec), value_acc_.Load(rec));
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const char* rec = batch.record(i);
+      Fold(group_fn_(rec), expression_(rec));  // NOLINT(msv-hot-path-alloc) ad-hoc-expression cold path
+    }
   }
 }
 

@@ -7,6 +7,10 @@
 // y_i = x_i * 1[group(r_i) = g] over ALL samples, so SUM_g = N * mean(y)
 // with a CLT interval from var(y); only per-group (count, sum, sum-of-
 // squares) plus the global sample count need be stored.
+//
+// Like OnlineAggregator, the hot path takes compiled FieldAccessors for
+// the group key and the aggregated expression (no per-record indirect
+// calls); the std::function pair remains for ad-hoc expressions.
 
 #ifndef MSV_SAMPLING_GROUPED_AGGREGATOR_H_
 #define MSV_SAMPLING_GROUPED_AGGREGATOR_H_
@@ -18,13 +22,20 @@
 
 #include "sampling/online_aggregator.h"
 #include "sampling/sample_stream.h"
+#include "storage/record_view.h"
 
 namespace msv::sampling {
 
 class GroupedAggregator {
  public:
-  /// `group_fn` maps a record to its group key; `expression` to the value
-  /// being aggregated; `population` is |σ_Q(R)| (for SUM/COUNT scale-up).
+  /// Hot path: `group_acc` extracts the (integer) group key, `value_acc`
+  /// the value being aggregated; `population` is |σ_Q(R)| (for SUM/COUNT
+  /// scale-up).
+  GroupedAggregator(storage::FieldAccessor group_acc,
+                    storage::FieldAccessor value_acc, uint64_t population,
+                    double confidence = 0.95);
+
+  /// Cold path: arbitrary expressions via std::function.
   GroupedAggregator(std::function<uint64_t(const char*)> group_fn,
                     std::function<double(const char*)> expression,
                     uint64_t population, double confidence = 0.95);
@@ -52,6 +63,11 @@ class GroupedAggregator {
     double sumsq = 0.0;
   };
 
+  void Fold(uint64_t group, double x);
+
+  storage::FieldAccessor group_acc_;
+  storage::FieldAccessor value_acc_;
+  bool use_accessors_ = false;
   std::function<uint64_t(const char*)> group_fn_;
   std::function<double(const char*)> expression_;
   uint64_t population_;

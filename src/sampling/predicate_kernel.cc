@@ -1,0 +1,195 @@
+// Batched, branch-free range-predicate kernels with runtime CPU dispatch.
+//
+// RangeQuery::MatchBatch evaluates a whole leaf section (or any run of
+// densely packed records) in three stages, chunked so the scratch stays
+// L1-resident:
+//
+//   1. gather: the key bytes of one dimension are strided out of the
+//      record images into a contiguous, 32-byte-aligned columnar view
+//      (double col[kChunk]);
+//   2. mask: a branch-free `lo <= v <= hi` over the column produces a
+//      0/1 byte per record, ANDed across dimensions. This is the stage
+//      with SSE2/AVX2 variants (2 / 4 records per vector op); ordered
+//      vector compares reject NaN keys exactly like the scalar
+//      reference, and an empty interval (lo > hi) rejects everything.
+//   3. emit: mask bytes become ascending match indices with a
+//      branch-free `out[cnt] = i; cnt += mask[i]` loop.
+//
+// The variant is chosen per call from util::ActiveCpuLevel() (detected
+// once per process, overridable via MSV_CPU_FEATURES); MatchBatchAt pins
+// a level for the dispatch-equivalence tests and the in-bench A/B. All
+// variants are compiled in one TU via per-function target attributes,
+// so no source file needs -mavx2 globally.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sampling/range_query.h"
+#include "util/coding.h"
+#include "util/cpu.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MSV_KERNEL_X86 1
+#include <immintrin.h>
+#endif
+
+namespace msv::sampling {
+
+namespace {
+
+/// Records per kernel chunk: 8 KiB of column + 1 KiB of mask, L1-sized.
+constexpr size_t kChunk = 1024;
+
+void GatherColumn(const char* base, size_t record_size, size_t key_offset,
+                  size_t n, double* col) {
+  const char* p = base + key_offset;
+  for (size_t i = 0; i < n; ++i) {
+    col[i] = DecodeDouble(p);
+    p += record_size;
+  }
+}
+
+// --- mask kernels ----------------------------------------------------------
+// Each writes (first dimension) or ANDs (later dimensions) a 0/1 byte per
+// record. `!(v >= lo && v <= hi)` inverted: match = (v >= lo) & (v <= hi),
+// false for NaN under both scalar and ordered-vector compares.
+
+template <bool kFirstDim>
+void MaskScalar(const double* col, size_t n, double lo, double hi,
+                uint8_t* mask) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t ok = static_cast<uint8_t>(col[i] >= lo) &
+                 static_cast<uint8_t>(col[i] <= hi);
+    if (kFirstDim) {
+      mask[i] = ok;
+    } else {
+      mask[i] &= ok;
+    }
+  }
+}
+
+#ifdef MSV_KERNEL_X86
+
+template <bool kFirstDim>
+void MaskSse2(const double* col, size_t n, double lo, double hi,
+              uint8_t* mask) {
+  const __m128d vlo = _mm_set1_pd(lo);
+  const __m128d vhi = _mm_set1_pd(hi);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d v = _mm_load_pd(col + i);
+    // cmpge/cmple are ordered: NaN lanes compare false on both sides.
+    __m128d ok = _mm_and_pd(_mm_cmpge_pd(v, vlo), _mm_cmple_pd(v, vhi));
+    int bits = _mm_movemask_pd(ok);  // bit k = lane k matched
+    if (kFirstDim) {
+      mask[i] = static_cast<uint8_t>(bits & 1);
+      mask[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+    } else {
+      mask[i] &= static_cast<uint8_t>(bits & 1);
+      mask[i + 1] &= static_cast<uint8_t>((bits >> 1) & 1);
+    }
+  }
+  if (i < n) MaskScalar<kFirstDim>(col + i, n - i, lo, hi, mask + i);
+}
+
+template <bool kFirstDim>
+__attribute__((target("avx2")))
+void MaskAvx2(const double* col, size_t n, double lo, double hi,
+              uint8_t* mask) {
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d v = _mm256_load_pd(col + i);
+    // _CMP_GE_OQ / _CMP_LE_OQ: ordered, quiet — NaN lanes are false.
+    __m256d ok = _mm256_and_pd(_mm256_cmp_pd(v, vlo, _CMP_GE_OQ),
+                               _mm256_cmp_pd(v, vhi, _CMP_LE_OQ));
+    int bits = _mm256_movemask_pd(ok);
+    if (kFirstDim) {
+      mask[i] = static_cast<uint8_t>(bits & 1);
+      mask[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+      mask[i + 2] = static_cast<uint8_t>((bits >> 2) & 1);
+      mask[i + 3] = static_cast<uint8_t>((bits >> 3) & 1);
+    } else {
+      mask[i] &= static_cast<uint8_t>(bits & 1);
+      mask[i + 1] &= static_cast<uint8_t>((bits >> 1) & 1);
+      mask[i + 2] &= static_cast<uint8_t>((bits >> 2) & 1);
+      mask[i + 3] &= static_cast<uint8_t>((bits >> 3) & 1);
+    }
+  }
+  if (i < n) MaskScalar<kFirstDim>(col + i, n - i, lo, hi, mask + i);
+}
+
+#endif  // MSV_KERNEL_X86
+
+void MaskDim(util::CpuLevel level, bool first_dim, const double* col,
+             size_t n, double lo, double hi, uint8_t* mask) {
+  switch (level) {
+#ifdef MSV_KERNEL_X86
+    case util::CpuLevel::kAvx2:
+      first_dim ? MaskAvx2<true>(col, n, lo, hi, mask)
+                : MaskAvx2<false>(col, n, lo, hi, mask);
+      return;
+    case util::CpuLevel::kSse2:
+      first_dim ? MaskSse2<true>(col, n, lo, hi, mask)
+                : MaskSse2<false>(col, n, lo, hi, mask);
+      return;
+#else
+    case util::CpuLevel::kAvx2:
+    case util::CpuLevel::kSse2:
+#endif
+    case util::CpuLevel::kScalar:
+      first_dim ? MaskScalar<true>(col, n, lo, hi, mask)
+                : MaskScalar<false>(col, n, lo, hi, mask);
+      return;
+  }
+  MaskScalar<true>(col, n, lo, hi, mask);
+}
+
+/// Branch-free mask → ascending index compaction. Mask bytes are 0/1.
+size_t EmitIndices(const uint8_t* mask, size_t n, uint32_t base_index,
+                   uint32_t* out_idx, size_t count) {
+  for (size_t i = 0; i < n; ++i) {
+    out_idx[count] = base_index + static_cast<uint32_t>(i);
+    count += mask[i];
+  }
+  return count;
+}
+
+}  // namespace
+
+void GatherKeyColumn(const storage::RecordLayout& layout, const char* base,
+                     size_t n, size_t dim, double* out) {
+  GatherColumn(base, layout.record_size, layout.key_offsets[dim], n, out);
+}
+
+size_t RangeQuery::MatchBatchAt(util::CpuLevel level,
+                                const storage::RecordLayout& layout,
+                                const char* base, size_t n,
+                                uint32_t* out_idx) const {
+  level = util::ClampCpuLevel(level);
+  alignas(32) double col[kChunk];
+  alignas(32) uint8_t mask[kChunk];
+  const size_t record_size = layout.record_size;
+  const size_t* offsets = layout.key_offsets.data();
+  size_t count = 0;
+  for (size_t start = 0; start < n; start += kChunk) {
+    const size_t len = n - start < kChunk ? n - start : kChunk;
+    const char* chunk_base = base + start * record_size;
+    for (size_t d = 0; d < dims; ++d) {
+      GatherColumn(chunk_base, record_size, offsets[d], len, col);
+      MaskDim(level, d == 0, col, len, bounds[d].lo, bounds[d].hi, mask);
+    }
+    count = EmitIndices(mask, len, static_cast<uint32_t>(start), out_idx,
+                        count);
+  }
+  return count;
+}
+
+size_t RangeQuery::MatchBatch(const storage::RecordLayout& layout,
+                              const char* base, size_t n,
+                              uint32_t* out_idx) const {
+  return MatchBatchAt(util::ActiveCpuLevel(), layout, base, n, out_idx);
+}
+
+}  // namespace msv::sampling

@@ -9,10 +9,12 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 
 #include "storage/record.h"
+#include "util/cpu.h"
 #include "util/status.h"
 
 namespace msv::sampling {
@@ -52,12 +54,39 @@ struct RangeQuery {
 
   /// True when record `rec` (interpreted through `layout`) satisfies every
   /// per-dimension bound. Dimensions beyond layout.key_dims() are invalid.
+  ///
+  /// This is the scalar reference the batched SIMD kernels are tested
+  /// against: the key_offsets base pointer is hoisted out of the loop and
+  /// dimension 0 (the primary range attribute, by far the most selective
+  /// in practice) short-circuits before the loop even starts. The
+  /// `!(v >= lo && v <= hi)` shape is deliberate — it rejects NaN keys,
+  /// where `v < lo || v > hi` would accept them.
   bool Matches(const storage::RecordLayout& layout, const char* rec) const {
-    for (size_t d = 0; d < dims; ++d) {
-      if (!bounds[d].Contains(layout.Key(rec, d))) return false;
+    const size_t* offsets = layout.key_offsets.data();
+    double v0 = DecodeDouble(rec + offsets[0]);
+    if (!(v0 >= bounds[0].lo && v0 <= bounds[0].hi)) return false;
+    for (size_t d = 1; d < dims; ++d) {
+      double v = DecodeDouble(rec + offsets[d]);
+      if (!(v >= bounds[d].lo && v <= bounds[d].hi)) return false;
     }
     return true;
   }
+
+  /// Batched predicate evaluation over `n` densely packed records at
+  /// `base`: writes the ascending indices of matching records to
+  /// `out_idx` (caller provides room for `n`) and returns how many
+  /// matched. Gathers each key dimension into a columnar view and runs a
+  /// branch-free range check over it with the best kernel the host CPU
+  /// supports (util::ActiveCpuLevel()); agrees with Matches() record for
+  /// record, including NaN keys, ±inf bounds and empty intervals.
+  size_t MatchBatch(const storage::RecordLayout& layout, const char* base,
+                    size_t n, uint32_t* out_idx) const;
+
+  /// MatchBatch pinned to one dispatch level (testing / in-bench A/B;
+  /// `level` is clamped to what the host can execute).
+  size_t MatchBatchAt(util::CpuLevel level,
+                      const storage::RecordLayout& layout, const char* base,
+                      size_t n, uint32_t* out_idx) const;
 
   Status Validate(const storage::RecordLayout& layout) const {
     if (dims == 0 || dims > layout.key_dims()) {
@@ -75,6 +104,12 @@ struct RangeQuery {
 
   std::string ToString() const;
 };
+
+/// Gathers key dimension `dim` of `n` densely packed records into the
+/// contiguous `out` array — the columnar key view the batched kernels
+/// (and the bench's scan loop) run over.
+void GatherKeyColumn(const storage::RecordLayout& layout, const char* base,
+                     size_t n, size_t dim, double* out);
 
 }  // namespace msv::sampling
 

@@ -27,6 +27,17 @@ struct SampleBatch {
   const char* record(size_t i) const { return data.data() + i * record_size; }
   void Append(const char* rec) { data.append(rec, record_size); }
   bool empty() const { return data.empty(); }
+
+  /// Pre-sizes the buffer for `additional` more records, so a producer
+  /// that knows its emission size (the combine engine's rounds do) pays
+  /// one growth instead of log-many reallocating appends.
+  void Reserve(size_t additional) {
+    data.reserve(data.size() + additional * record_size);
+  }
+  /// Appends `n` densely packed records in one copy.
+  void AppendN(const char* recs, size_t n) {
+    data.append(recs, n * record_size);
+  }
 };
 
 /// Pull-based online sampler. Implementations are single-use: one stream

@@ -1,0 +1,123 @@
+// Bump-pointer arena for per-query scratch state.
+//
+// The combine engine buffers filtered leaf-section contributions between
+// rounds; doing that with one std::string per section costs an allocator
+// round-trip (and a copy-on-grow) per contribution on the hottest CPU
+// path in the system. The arena replaces that with a pointer bump:
+// allocations are served from geometrically growing blocks, nothing is
+// freed individually, and the whole arena dies (or is Reset) with the
+// query.
+//
+// Reset() keeps the allocated blocks and reuses them, so a caller that
+// resets at quiescent points (the combine engine does, whenever its
+// buffers drain) holds memory proportional to the high-water mark of
+// *live* bytes, not to the total bytes ever allocated.
+//
+// Not thread-safe: one arena belongs to one query executor, matching the
+// single-consumer design of CombineEngine (DESIGN.md §8).
+
+#ifndef MSV_UTIL_ARENA_H_
+#define MSV_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace msv::util {
+
+class Arena {
+ public:
+  static constexpr size_t kMinBlockBytes = 64 << 10;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `n` bytes aligned to `align` (a power of two). Never fails
+  /// short of OOM. Allocate(0) may return nullptr; callers treat empty
+  /// spans as {nullptr, 0}.
+  char* Allocate(size_t n, size_t align = alignof(std::max_align_t)) {
+    uintptr_t p = reinterpret_cast<uintptr_t>(next_);
+    uintptr_t aligned = (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    size_t padding = aligned - p;
+    if (padding + n <= remaining_) {
+      char* out = next_ + padding;
+      next_ += padding + n;
+      remaining_ -= padding + n;
+      bytes_allocated_ += n;
+      return out;
+    }
+    return AllocateSlow(n, align);
+  }
+
+  /// Rewinds the arena to empty, keeping every block for reuse.
+  void Reset() {
+    block_in_use_ = 0;
+    bytes_allocated_ = 0;
+    if (!blocks_.empty()) {
+      next_ = blocks_[0].data.get();
+      remaining_ = blocks_[0].size;
+      block_in_use_ = 1;
+    } else {
+      next_ = nullptr;
+      remaining_ = 0;
+    }
+  }
+
+  /// Live payload bytes handed out since construction/Reset.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total block capacity currently held (survives Reset).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  char* AllocateSlow(size_t n, size_t align) {
+    // Advance through retained blocks first (post-Reset reuse), then
+    // grow: each fresh block doubles the last size, floored at
+    // kMinBlockBytes and always large enough for the request.
+    while (block_in_use_ < blocks_.size()) {
+      Block& b = blocks_[block_in_use_++];
+      next_ = b.data.get();
+      remaining_ = b.size;
+      uintptr_t p = reinterpret_cast<uintptr_t>(next_);
+      uintptr_t aligned =
+          (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+      size_t padding = aligned - p;
+      if (padding + n <= remaining_) {
+        char* out = next_ + padding;
+        next_ += padding + n;
+        remaining_ -= padding + n;
+        bytes_allocated_ += n;
+        return out;
+      }
+    }
+    size_t block_size = blocks_.empty() ? kMinBlockBytes
+                                        : blocks_.back().size * 2;
+    if (block_size < n + align) block_size = n + align;
+    Block b;
+    b.data = std::make_unique<char[]>(block_size);
+    b.size = block_size;
+    blocks_.push_back(std::move(b));
+    bytes_reserved_ += block_size;
+    block_in_use_ = blocks_.size();
+    next_ = blocks_.back().data.get();
+    remaining_ = block_size;
+    return Allocate(n, align);
+  }
+
+  std::vector<Block> blocks_;
+  size_t block_in_use_ = 0;  ///< blocks_[0..block_in_use_) already visited
+  char* next_ = nullptr;
+  size_t remaining_ = 0;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace msv::util
+
+#endif  // MSV_UTIL_ARENA_H_

@@ -1,0 +1,93 @@
+#include "util/cpu.h"
+
+#include <cstdlib>
+#include <mutex>  // NOLINT(msv-raw-sync) std::call_once only; no lockable state
+
+#include "util/logging.h"
+
+namespace msv::util {
+
+const char* CpuLevelName(CpuLevel level) {
+  switch (level) {
+    case CpuLevel::kScalar:
+      return "scalar";
+    case CpuLevel::kSse2:
+      return "sse2";
+    case CpuLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+bool ParseCpuLevel(const std::string& name, CpuLevel* out) {
+  if (name == "scalar") {
+    *out = CpuLevel::kScalar;
+  } else if (name == "sse2") {
+    *out = CpuLevel::kSse2;
+  } else if (name == "avx2") {
+    *out = CpuLevel::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CpuLevel DetectCpuLevel() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // cpuid via the compiler builtin: resolves the feature bits once per
+  // process (the builtin caches). SSE2 is architecturally guaranteed on
+  // x86-64, so the floor there is kSse2, not kScalar.
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return CpuLevel::kAvx2;
+#endif
+  return CpuLevel::kSse2;
+#else
+  return CpuLevel::kScalar;
+#endif
+}
+
+CpuLevel ClampCpuLevel(CpuLevel requested) {
+  CpuLevel detected = DetectCpuLevel();
+  return static_cast<int>(requested) <= static_cast<int>(detected) ? requested
+                                                                   : detected;
+}
+
+namespace {
+
+CpuLevel g_active_level = CpuLevel::kScalar;
+std::once_flag g_active_once;
+
+void InitActiveLevel() {
+  CpuLevel level = DetectCpuLevel();
+  if (const char* env = std::getenv("MSV_CPU_FEATURES")) {
+    CpuLevel requested;
+    if (ParseCpuLevel(env, &requested)) {
+      CpuLevel clamped = ClampCpuLevel(requested);
+      if (clamped != requested) {
+        MSV_LOG(Warn) << "MSV_CPU_FEATURES requests "
+                      << CpuLevelName(requested) << " but host supports at "
+                      << "most " << CpuLevelName(clamped) << "; clamping";
+      }
+      level = clamped;
+    } else {
+      MSV_LOG(Warn) << "unrecognized MSV_CPU_FEATURES value '" << env
+                    << "' (want scalar|sse2|avx2); using detected level";
+    }
+  }
+  g_active_level = level;
+}
+
+}  // namespace
+
+CpuLevel ActiveCpuLevel() {
+  std::call_once(g_active_once, InitActiveLevel);
+  return g_active_level;
+}
+
+CpuLevel SetActiveCpuLevelForTesting(CpuLevel level) {
+  std::call_once(g_active_once, InitActiveLevel);  // settle env handling
+  g_active_level = ClampCpuLevel(level);
+  return g_active_level;
+}
+
+}  // namespace msv::util

@@ -1,0 +1,55 @@
+// Runtime CPU-feature detection and dispatch-level selection.
+//
+// The batched hot-path kernels (sampling::MatchBatch, the columnar key
+// gather) are compiled in up to three variants — scalar, SSE2 and AVX2 —
+// and the variant actually executed is chosen once per process from
+// cpuid-style feature detection. Every variant produces byte-identical
+// output (golden-pinned by the dispatch-equivalence test suite), so the
+// choice is purely a throughput decision.
+//
+// `MSV_CPU_FEATURES=scalar|sse2|avx2` overrides the detected level for
+// testing; requesting a level the host cannot execute clamps down to the
+// best supported one (the override must never turn into SIGILL).
+
+#ifndef MSV_UTIL_CPU_H_
+#define MSV_UTIL_CPU_H_
+
+#include <string>
+
+namespace msv::util {
+
+/// Kernel dispatch levels, ordered: a level implies all lower ones.
+enum class CpuLevel : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable name ("scalar" / "sse2" / "avx2").
+const char* CpuLevelName(CpuLevel level);
+
+/// Parses a level name as accepted by MSV_CPU_FEATURES. Returns false
+/// (leaving *out untouched) for anything else.
+bool ParseCpuLevel(const std::string& name, CpuLevel* out);
+
+/// Best level the host CPU can execute, from compiler builtins backed by
+/// cpuid. Unconditionally kScalar on non-x86-64 builds.
+CpuLevel DetectCpuLevel();
+
+/// `requested` clamped down to DetectCpuLevel(), so a pinned level is
+/// always executable on this host.
+CpuLevel ClampCpuLevel(CpuLevel requested);
+
+/// The process-wide dispatch level: DetectCpuLevel() clamped by the
+/// MSV_CPU_FEATURES override. Read from the environment once, on first
+/// call; cached thereafter.
+CpuLevel ActiveCpuLevel();
+
+/// Test hook: forces ActiveCpuLevel() to `level` (still clamped to
+/// DetectCpuLevel() so a forced avx2 on an sse2-only host stays
+/// executable). Returns the level actually installed.
+CpuLevel SetActiveCpuLevelForTesting(CpuLevel level);
+
+}  // namespace msv::util
+
+#endif  // MSV_UTIL_CPU_H_

@@ -40,6 +40,21 @@ class RunningStats {
     return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
   }
 
+  /// Builds a RunningStats directly from precomputed moments — the batch
+  /// side of a fold-then-Merge pattern (OnlineAggregator's accessor path
+  /// computes a whole batch's count/mean/M2/min/max with independent
+  /// accumulators and merges the result in one step).
+  static RunningStats FromMoments(uint64_t n, double mean, double m2,
+                                  double min, double max) {
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = n ? mean : 0.0;
+    s.m2_ = n ? m2 : 0.0;
+    s.min_ = n ? min : std::numeric_limits<double>::infinity();
+    s.max_ = n ? max : -std::numeric_limits<double>::infinity();
+    return s;
+  }
+
   void Merge(const RunningStats& other) {
     if (other.n_ == 0) return;
     if (n_ == 0) {

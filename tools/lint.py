@@ -42,6 +42,14 @@ Custom rules (things clang-tidy cannot express for this repo):
                          access per page where File::ReadBatch /
                          AceTree::ReadLeaves / BufferPool::GetBatch
                          coalesce the adjacent run into one.
+  msv-hot-path-alloc     no per-record std::string construction and no
+                         calls through stored std::function callables
+                         inside batch loops in src/core / src/sampling:
+                         the hot path works on RecordSpans backed by the
+                         per-query Arena and folds batches through
+                         compiled FieldAccessors (DESIGN.md §15). Cold
+                         paths (builders, manifest parsing) carry
+                         `// NOLINT(msv-hot-path-alloc)` with a reason.
   msv-raw-logging        no raw stderr diagnostics (fprintf(stderr, ...),
                          std::cerr/std::clog, perror, fputs to stderr)
                          in src/ outside src/obs/log.cc: library code
@@ -380,6 +388,72 @@ def check_batched_io(path: Path, lines: list[str], findings: list[Finding]):
                 "seek per adjacent run instead of one per page)"))
 
 
+# --- msv-hot-path-alloc ----------------------------------------------------
+
+# The per-record budget on the sampling hot path (DESIGN.md §15) is a few
+# nanoseconds; a std::string construction or a std::function call inside
+# a batch loop is 10-100x that. Inside loops in src/core and src/sampling
+# .cc files, flag (a) std::string objects (declarations/temporaries —
+# references and pointers are free) and (b) calls through stored
+# callables (data members end in `_`, so `name_(...)` is a functor
+# invocation, std::function on every offender to date). Cold paths
+# (builders, manifest parsing, ad-hoc expression aggregation) carry
+# `// NOLINT(msv-hot-path-alloc)` with a justifying comment.
+HOT_PATH_DIRS = {("src", "core"), ("src", "sampling")}
+HOT_PATH_STRING_RE = re.compile(r"\bstd\s*::\s*string\b(?!\s*[&*>])")
+HOT_PATH_FUNCTOR_RE = re.compile(r"(?<![\w.>])[a-z]\w*_\s*\(")
+
+
+def check_hot_path_alloc(path: Path, lines: list[str],
+                         findings: list[Finding]):
+    rel = path.relative_to(REPO_ROOT)
+    if path.suffix not in CC_EXTS or rel.parts[:2] not in HOT_PATH_DIRS:
+        return
+    # Same lexical loop tracker as msv-batched-io, plus: a braceless
+    # single-statement loop (`for (...) stmt;`) must not leave the
+    # pending flag armed, or the next unrelated `{` would be mistaken
+    # for a loop body. Clearing on a semicolon-only line can miss a
+    # loop whose multi-line header splits before the `{` — crude, but
+    # missing a loop beats flagging a whole function.
+    depth = 0
+    loop_depths: list[int] = []
+    pending_loop = False
+    for no, raw in enumerate(lines, 1):
+        line = strip_comments_and_strings(raw)
+        if LOOP_HEAD_RE.search(line):
+            pending_loop = True
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if pending_loop:
+                    loop_depths.append(depth)
+                    pending_loop = False
+            elif ch == "}":
+                if loop_depths and loop_depths[-1] == depth:
+                    loop_depths.pop()
+                depth -= 1
+        if pending_loop and "{" not in line and ";" in line:
+            pending_loop = False
+        if not loop_depths:
+            continue
+        if HOT_PATH_STRING_RE.search(line):
+            if not is_suppressed(raw, "msv-hot-path-alloc"):
+                findings.append(Finding(
+                    path, no, "msv-hot-path-alloc",
+                    "std::string constructed inside a batch loop on the "
+                    "hot path — use RecordSpan + the per-query Arena "
+                    "(see combine_engine.cc), or NOLINT with a reason if "
+                    "this is a cold path"))
+        elif HOT_PATH_FUNCTOR_RE.search(line):
+            if not is_suppressed(raw, "msv-hot-path-alloc"):
+                findings.append(Finding(
+                    path, no, "msv-hot-path-alloc",
+                    "call through a stored callable inside a batch loop — "
+                    "compile the expression to a storage::FieldAccessor "
+                    "(record_view.h), or NOLINT with a reason if this is "
+                    "a cold path"))
+
+
 # --- msv-raw-logging -------------------------------------------------------
 
 # Library diagnostics must flow through MSV_LOG / obs::LogEvent (leveled,
@@ -530,6 +604,7 @@ def main() -> int:
         check_stats_direct(path, lines, findings)
         check_raw_seek(path, lines, findings)
         check_batched_io(path, lines, findings)
+        check_hot_path_alloc(path, lines, findings)
         check_raw_logging(path, lines, findings)
         check_raw_sync(path, lines, findings)
 
